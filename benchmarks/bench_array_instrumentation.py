@@ -1,0 +1,54 @@
+"""E7 — Section 5.4: the cost of instrumenting array accesses.
+
+Both checkers conflate array elements with array-level metadata (which
+makes them imprecise, so cycle detection is disabled for all four
+configurations), and xalan6/xalan9 are excluded (they run out of
+memory in the paper).
+
+Paper: DoubleChecker 3.1X → 3.7X with arrays; Velodrome 6.3X → 7.3X.
+The shape checked here: arrays add a moderate relative overhead to
+both checkers, and DoubleChecker stays well below Velodrome either way.
+"""
+
+import pytest
+
+from repro.harness import section54
+
+
+@pytest.fixture(scope="module")
+def result(write_result):
+    outcome = section54.arrays(trials=2)
+    write_result("array_instrumentation", outcome.render())
+    return outcome
+
+
+def test_generate_arrays_cell(benchmark, result):
+    benchmark.pedantic(
+        lambda: section54.arrays(["hedc"], trials=1),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_xalan_benchmarks_excluded(result):
+    assert "xalan6" not in result.rows
+    assert "xalan9" not in result.rows
+
+
+def test_arrays_add_overhead_to_both_checkers(result):
+    dc, dc_arrays, velodrome, velodrome_arrays = result.geomeans()
+    assert dc_arrays > dc
+    assert velodrome_arrays > velodrome
+
+
+def test_overhead_increase_is_moderate(result):
+    """Paper: +19% for DoubleChecker, +16% for Velodrome."""
+    dc, dc_arrays, velodrome, velodrome_arrays = result.geomeans()
+    assert dc_arrays / dc < 1.8
+    assert velodrome_arrays / velodrome < 1.8
+
+
+def test_doublechecker_still_wins_with_arrays(result):
+    dc, dc_arrays, velodrome, velodrome_arrays = result.geomeans()
+    assert dc_arrays < velodrome_arrays
+    assert dc < velodrome

@@ -1,0 +1,50 @@
+"""E8 — Section 5.4: the PCD-only straw man.
+
+PCD processes every executed transaction instead of only the ones ICD
+implicates.  Paper: the slowdown explodes from 3.1X to 16.6X, and four
+benchmarks (eclipse6, xalan6, avrora9, xalan9) run out of memory —
+"ICD is essential as a first-pass filter for PCD".
+"""
+
+import pytest
+
+from repro.harness import section54
+
+#: log-entry budget per replay, chosen so the heavyweight benchmarks
+#: exceed it (reproducing the paper's 32-bit out-of-memory exclusions)
+BUDGET = 9_000
+
+
+@pytest.fixture(scope="module")
+def result(write_result):
+    outcome = section54.pcd_only(trials=1, pcd_memory_budget=BUDGET)
+    write_result("pcd_only", outcome.render())
+    return outcome
+
+
+def test_generate_pcd_only_cell(benchmark, result):
+    benchmark.pedantic(
+        lambda: section54.pcd_only(
+            ["hedc"], trials=1, pcd_memory_budget=10_000_000
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    single, pcd = result.geomeans()
+    assert pcd > single
+    assert set(result.oom) & {"eclipse6", "xalan6", "avrora9", "xalan9"}
+
+
+def test_pcd_only_dramatically_slower(result):
+    single, pcd = result.geomeans()
+    assert pcd > single * 1.5
+
+
+def test_heavy_benchmarks_run_out_of_memory(result):
+    assert len(result.oom) >= 2
+    assert set(result.oom) & {"eclipse6", "xalan6", "avrora9", "xalan9"}
+
+
+def test_light_benchmarks_complete(result):
+    completed = [n for n, v in result.rows.items() if v[1] is not None]
+    assert len(completed) >= 6

@@ -1,0 +1,42 @@
+"""E9 — Section 5.3: second-run design choices.
+
+Two ablations of multi-run mode's second run:
+
+* **always-instrument-unary** — instrumenting non-transactional
+  accesses unconditionally (paper: overhead rises from 140% to 169%,
+  justifying the conditional instrumentation);
+* **Velodrome-as-second-run** — using Velodrome instead of ICD+PCD for
+  the precise pass (paper: 2.9X vs 2.4X — ICD is still an effective
+  dynamic filter even within the statically identified set).
+"""
+
+import pytest
+
+from repro.harness import section54
+
+
+@pytest.fixture(scope="module")
+def result(write_result):
+    outcome = section54.second_run_variants(trials=2, first_trials=2)
+    write_result("second_run_variants", outcome.render())
+    return outcome
+
+
+def test_generate_second_run_cell(benchmark, result):
+    benchmark.pedantic(
+        lambda: section54.second_run_variants(
+            ["hedc"], trials=1, first_trials=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_conditional_unary_instrumentation_helps(result):
+    second, always_unary, _ = result.geomeans()
+    assert second <= always_unary
+
+
+def test_icd_pcd_beats_velodrome_as_second_run(result):
+    second, _, velodrome_second = result.geomeans()
+    assert second < velodrome_second

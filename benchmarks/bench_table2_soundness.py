@@ -1,0 +1,67 @@
+"""E2 — Table 2: static atomicity violations per checker.
+
+Regenerates the full soundness comparison: iterative refinement to
+convergence under Velodrome, single-run mode, and multi-run mode on
+all 19 benchmarks.  The paper's qualitative claims checked here:
+
+* Velodrome and single-run mode report closely matching sets (small
+  ``Unique`` counts from schedule nondeterminism);
+* multi-run mode detects a high fraction (~83–90%) of single-run's
+  violations;
+* the zero-violation benchmarks stay at zero everywhere.
+"""
+
+import pytest
+
+from repro.harness import table2
+
+ZERO_VIOLATION = {"jython9", "luindex9", "pmd9", "philo", "sor", "moldyn", "raytracer"}
+
+
+@pytest.fixture(scope="module")
+def result(write_result):
+    outcome = table2.generate(trials_per_step=2)
+    write_result("table2_soundness", outcome.render())
+    return outcome
+
+
+def test_generate_table2(benchmark, result):
+    """Times one refinement-to-convergence on a mid-size benchmark —
+    and validates the headline soundness claims under --benchmark-only."""
+    benchmark.pedantic(
+        lambda: table2.generate(["hsqldb6"], trials_per_step=2),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.multi_detection_rate() >= 0.6
+    for row in result.rows:
+        if row.name in ZERO_VIOLATION:
+            assert row.single_total == 0, row.name
+
+
+def test_zero_violation_benchmarks_stay_clean(result):
+    for row in result.rows:
+        if row.name in ZERO_VIOLATION:
+            assert row.single_total == 0, row.name
+            assert row.velodrome_total == 0, row.name
+
+
+def test_eclipse6_has_most_violations(result):
+    by_name = {r.name: r for r in result.rows}
+    eclipse = by_name["eclipse6"].single_total
+    assert eclipse == max(r.single_total for r in result.rows)
+    assert eclipse >= 10
+
+
+def test_multi_run_detection_rate_is_high(result):
+    """Paper: 83% of all single-run violations, 90% per program."""
+    assert result.multi_detection_rate() >= 0.6
+
+
+def test_velodrome_and_single_run_match_closely(result):
+    totals = result.totals()
+    velodrome, single = totals["velodrome_total"], totals["single_total"]
+    assert velodrome > 0 and single > 0
+    assert 0.5 <= velodrome / single <= 2.0
+    # unique counts are a small fraction of the totals
+    assert totals["velodrome_unique"] <= velodrome // 2

@@ -1,0 +1,48 @@
+"""E5 — Section 5.3: the unsound Velodrome variant.
+
+Paper claims checked:
+
+* skipping synchronization when metadata need not change cuts the
+  slowdown (4.1X vs 6.1X) but stays above DoubleChecker's single-run
+  mode;
+* the variant crashes on avrora9 due to metadata races.
+"""
+
+import pytest
+
+from repro.harness import figure7, section54
+
+
+@pytest.fixture(scope="module")
+def result(write_result):
+    outcome = section54.unsound_velodrome(trials=2)
+    write_result("unsound_velodrome", outcome.render())
+    return outcome
+
+
+def test_generate_unsound_cell(benchmark, result):
+    benchmark.pedantic(
+        lambda: section54.unsound_velodrome(["hsqldb6"], trials=1),
+        rounds=1,
+        iterations=1,
+    )
+    sound, unsound = result.geomeans()
+    assert unsound < sound
+    assert any(note == "crash" for _n, _s, _u, note in result.rows)
+
+
+def test_unsound_variant_is_cheaper(result):
+    sound, unsound = result.geomeans()
+    assert unsound < sound
+
+
+def test_avrora9_crashes(result):
+    notes = {name: note for name, _s, _u, note in result.rows}
+    assert notes.get("avrora9") == "crash"
+
+
+def test_still_slower_than_doublechecker(result, write_result):
+    """Paper: 'DoubleChecker still outperforms this unsound variant.'"""
+    _, unsound = result.geomeans()
+    single = figure7.generate(trials=1, first_trials=1).geomeans()["single"]
+    assert single < unsound

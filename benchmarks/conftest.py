@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench regenerates one of the paper's evaluation artefacts and
+writes the rendered table into ``results/`` (consumed by
+EXPERIMENTS.md), while pytest-benchmark times representative units.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_result(results_dir):
+    def _write(name: str, text: str) -> None:
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+
+    return _write

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Compare every checker configuration on one benchmark.
+
+Runs the uninstrumented baseline, Velodrome (sound and unsound
+variants), DoubleChecker single-run mode, and both runs of multi-run
+mode on the same workload, and prints the modelled normalized
+execution times (the paper's Figure 7 metric) alongside the events
+that drive them.
+
+Run with::
+
+    python examples/checker_shootout.py [benchmark]
+"""
+
+import sys
+
+from repro import DoubleChecker, RandomScheduler, UnsoundVelodrome, VelodromeChecker
+from repro.costs.model import CostModel
+from repro.harness.rendering import render_table
+from repro.harness.runner import final_spec
+from repro.runtime.executor import Executor
+from repro.velodrome.unsound import MetadataRaceError
+from repro.workloads import all_names, build
+
+SEED = 11
+
+
+def scheduler():
+    return RandomScheduler(seed=SEED, switch_prob=0.5)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "montecarlo"
+    if benchmark not in all_names():
+        raise SystemExit(f"unknown benchmark {benchmark!r}; try one of {all_names()}")
+
+    print(f"deriving the refined specification for {benchmark} "
+          "(cached after the first time)...")
+    spec = final_spec(benchmark)
+    model = CostModel()
+    rows = []
+
+    baseline = Executor(build(benchmark), scheduler()).run()
+    rows.append(["baseline (uninstrumented)", 1.0, baseline.steps, "-", "-"])
+
+    velodrome = VelodromeChecker(spec).run(build(benchmark), scheduler())
+    breakdown = model.velodrome(velodrome)
+    rows.append([
+        "Velodrome",
+        breakdown.normalized_time,
+        velodrome.stats.instrumented_accesses,
+        velodrome.stats.atomic_operations,
+        len(velodrome.blamed_methods),
+    ])
+
+    try:
+        unsound = UnsoundVelodrome(spec, seed=SEED).run(build(benchmark), scheduler())
+        breakdown = model.velodrome(unsound)
+        rows.append([
+            "Velodrome (unsound variant)",
+            breakdown.normalized_time,
+            unsound.stats.instrumented_accesses,
+            unsound.stats.atomic_operations,
+            len(unsound.blamed_methods),
+        ])
+    except MetadataRaceError as error:
+        rows.append(["Velodrome (unsound variant)", "crash", "-", "-", str(error)])
+
+    checker = DoubleChecker(spec)
+    single = checker.run_single(build(benchmark), scheduler())
+    breakdown = model.double_checker_single(single)
+    rows.append([
+        "DoubleChecker single-run",
+        breakdown.normalized_time,
+        single.icd_stats.instrumented_accesses,
+        single.octet_stats.atomic_operations,
+        len(single.blamed_methods),
+    ])
+
+    first = checker.run_first(build(benchmark), scheduler())
+    breakdown = model.double_checker_first(first)
+    rows.append([
+        "multi-run: first run",
+        breakdown.normalized_time,
+        first.icd_stats.instrumented_accesses,
+        first.octet_stats.atomic_operations,
+        f"{len(first.static_info.methods)} methods flagged",
+    ])
+
+    second = checker.run_second(build(benchmark), first.static_info, scheduler())
+    breakdown = model.double_checker_single(second)
+    rows.append([
+        "multi-run: second run",
+        breakdown.normalized_time,
+        second.icd_stats.instrumented_accesses,
+        second.octet_stats.atomic_operations,
+        len(second.blamed_methods),
+    ])
+
+    print()
+    print(render_table(
+        ["configuration", "normalized time", "instr. accesses",
+         "atomic ops", "violations"],
+        rows,
+        title=f"Checker shootout on {benchmark}",
+    ))
+
+
+if __name__ == "__main__":
+    main()

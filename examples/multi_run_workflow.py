@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Multi-run mode as a testing workflow.
+
+In deployment/testing settings a program runs many times.  Multi-run
+mode exploits that: several cheap first runs (ICD only, no logging)
+identify the static transactions that ever appear in imprecise cycles;
+the information is persisted as JSON; a later second run instruments
+only those transactions and performs the precise check.
+
+This example drives the workflow on the synthetic ``hsqldb6`` benchmark
+and reports what each stage cost and found — including how much of the
+program the second run could skip entirely.
+
+Run with::
+
+    python examples/multi_run_workflow.py
+"""
+
+from repro import DoubleChecker, RandomScheduler, StaticTransactionInfo
+from repro.harness.runner import initial_spec
+from repro.workloads import build
+
+BENCHMARK = "tsp"
+FIRST_RUNS = 5
+
+
+def main() -> None:
+    spec = initial_spec(BENCHMARK)
+    checker = DoubleChecker(spec)
+
+    # ---- stage 1: cheap first runs on different schedules -------------
+    print(f"=== {FIRST_RUNS} first runs (ICD only, no logging) ===")
+    infos = []
+    for trial in range(FIRST_RUNS):
+        result = checker.run_first(
+            build(BENCHMARK), RandomScheduler(seed=trial, switch_prob=0.5)
+        )
+        infos.append(result.static_info)
+        print(
+            f"  trial {trial}: {result.icd_stats.sccs} SCCs, "
+            f"{len(result.static_info.methods)} implicated methods, "
+            f"log entries written: {result.icd_stats.log_entries}"
+        )
+
+    info = StaticTransactionInfo.union_all(infos)
+    payload = info.to_json()
+    print(f"\nstatic transaction information (persisted between runs):\n  {payload}")
+
+    # ---- stage 2: the focused second run --------------------------------
+    print("\n=== second run (ICD+PCD, restricted instrumentation) ===")
+    restored = StaticTransactionInfo.from_json(payload)
+    second = checker.run_second(
+        build(BENCHMARK), restored, RandomScheduler(seed=999, switch_prob=0.5)
+    )
+    stats = second.tx_stats
+    total = stats.regular_accesses + stats.unary_accesses + stats.skipped_accesses
+    skipped_share = stats.skipped_accesses / total if total else 0.0
+    print(f"  instrumented accesses: {stats.regular_accesses + stats.unary_accesses}")
+    print(f"  skipped accesses:      {stats.skipped_accesses} ({skipped_share:.0%})")
+    print(f"  violations: {sorted(second.violations.blamed_methods()) or 'none'}")
+
+    # ---- comparison: what a full single run would have done ---------------
+    print("\n=== reference: single-run mode on the same schedule ===")
+    single = DoubleChecker(spec).run_single(
+        build(BENCHMARK), RandomScheduler(seed=999, switch_prob=0.5)
+    )
+    print(f"  instrumented accesses: {single.icd_stats.instrumented_accesses}")
+    print(f"  log entries: {single.icd_stats.log_entries} "
+          f"(second run: {second.icd_stats.log_entries})")
+    print(f"  violations: {sorted(single.violations.blamed_methods()) or 'none'}")
+    missed = single.violations.blamed_methods() - second.violations.blamed_methods()
+    if missed:
+        print(f"  multi-run missed on this schedule: {sorted(missed)} "
+              "(the soundness price of splitting work across runs)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The pinned environment has no ``wheel`` package and no network access,
+so PEP 660 editable installs (which build a wheel) fail.  Keeping a
+``setup.py`` lets ``pip install -e . --no-use-pep517`` (and plain
+``pip install -e .`` on older pips) fall back to the legacy
+``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

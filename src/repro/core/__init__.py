@@ -1,0 +1,35 @@
+"""DoubleChecker's core: the paper's primary contribution.
+
+The two cooperating analyses live here —
+:class:`~repro.core.icd.ICD` (imprecise cycle detection, built on
+Octet) and :class:`~repro.core.pcd.PCD` (precise cycle detection over
+read/write logs) — together with the transaction model they share and
+the :class:`~repro.core.doublechecker.DoubleChecker` front end that
+orchestrates single-run and multi-run modes.
+"""
+
+from repro.core.doublechecker import (
+    DoubleChecker,
+    FirstRunResult,
+    MultiRunResult,
+    SingleRunResult,
+)
+from repro.core.icd import ICD
+from repro.core.pcd import PCD
+from repro.core.reports import ViolationRecord, ViolationSummary
+from repro.core.static_info import StaticTransactionInfo
+from repro.core.transactions import Transaction, TransactionManager
+
+__all__ = [
+    "DoubleChecker",
+    "FirstRunResult",
+    "ICD",
+    "MultiRunResult",
+    "PCD",
+    "SingleRunResult",
+    "StaticTransactionInfo",
+    "Transaction",
+    "TransactionManager",
+    "ViolationRecord",
+    "ViolationSummary",
+]

@@ -1,0 +1,41 @@
+"""Blame assignment (Section 3.3, following Velodrome).
+
+Given a dependence cycle, the blamed transaction is one whose outgoing
+cycle edge was created *earlier* than its incoming cycle edge: such a
+transaction kept running after its effects escaped, and its final
+access completed the cycle.  Reporting the blamed transaction's static
+method is what drives iterative refinement (the blamed method is
+removed from the specification).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.pdg import PdgEdge
+
+
+def blamed_nodes(cycle: Sequence[PdgEdge]) -> List[int]:
+    """Transactions to blame for a cycle, given its edges in path order.
+
+    ``cycle`` is an ordered edge list ``t1→t2, t2→t3, ..., tk→t1``.
+    For each node, compare the creation order of its outgoing cycle
+    edge with its incoming cycle edge; blame nodes whose outgoing edge
+    is older.  At least one such node always exists (the sink of the
+    newest edge: its outgoing cycle edge existed before the newest edge
+    was created), so the result is never empty.
+    """
+    if not cycle:
+        return []
+    incoming: Dict[int, PdgEdge] = {}
+    outgoing: Dict[int, PdgEdge] = {}
+    for edge in cycle:
+        outgoing[edge.src] = edge
+        incoming[edge.dst] = edge
+    blamed = [
+        node
+        for node in outgoing
+        if node in incoming and outgoing[node].order < incoming[node].order
+    ]
+    assert blamed, "every cycle has a node whose outgoing edge is older"
+    return sorted(blamed)

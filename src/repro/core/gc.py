@@ -1,0 +1,152 @@
+"""Transaction-graph garbage collection.
+
+The paper relies on the JVM's garbage collector: "Transactions and
+their read/write logs are regular Java objects ... so garbage
+collection naturally collects them as they become transitively
+unreachable from each thread's current transaction reference"
+(Section 4).  We reproduce the effect with an explicit mark-sweep over
+the transaction graph.
+
+**Liveness rule.**  A finished transaction ``O`` can still matter only
+if it can appear in a *future* IDG cycle.  Edges into a transaction are
+only ever added while it is its thread's current (or latest)
+transaction, and the destination of every future edge is a transaction
+that is active at that time.  A future cycle must therefore enter its
+old members through a forward path that begins at a transaction that
+can still *be entered* — each thread's current/latest transaction (to
+whose intra-chain all future transactions attach).  Hence:
+**alive = forward-reachable from the per-thread latest transactions**
+(over cross-thread out-edges and intra-thread successor links).
+
+ICD's ``T.lastRdEx`` and ``gLastRdSh`` references can still become
+edge *sources*, so those transactions are **pinned** — kept alive as
+bare nodes — but *not traversed*: a pinned transaction that is outside
+the latest-cone can never be re-entered, so nothing it references can
+join a future cycle.  (Traversing pinned roots would pin every
+transaction newer than the stalest reference via its intra chain,
+defeating collection — the bug this distinction fixes.)
+
+Everything else is swept, together with its read/write log.  The rule
+is exercised in ``tests/core/test_gc.py`` and by end-to-end tests that
+compare violation detection with and without collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set
+
+from repro.core.transactions import Transaction, TransactionManager
+
+
+@dataclass
+class GcStats:
+    """Collection statistics (memory-footprint proxies)."""
+
+    collections: int = 0
+    transactions_collected: int = 0
+    log_entries_collected: int = 0
+    peak_live_transactions: int = 0
+    peak_live_log_entries: int = 0
+
+
+class TransactionCollector:
+    """Mark-sweep collector for a checker's transaction graph."""
+
+    def __init__(self, manager: TransactionManager) -> None:
+        self._manager = manager
+        self.stats = GcStats()
+
+    # ------------------------------------------------------------------
+    def collect(self, pinned: Iterable[Transaction] = ()) -> int:
+        """Collect dead transactions; returns how many were swept.
+
+        Traversal roots are the *unfinished* (current) transactions:
+        in-edges only ever attach to active transactions, so any future
+        cycle's members lie in the static forward cone of some
+        currently-unfinished transaction.  The per-thread latest
+        (possibly finished) transactions are pinned as future edge
+        sources but not traversed.
+
+        Args:
+            pinned: transactions kept alive as bare nodes without cone
+                traversal (ICD passes ``lastRdEx`` values and
+                ``gLastRdSh`` — still potential edge sources; Velodrome's
+                field metadata is *weak* and deliberately not pinned,
+                per the paper).
+        """
+        roots: List[Transaction] = list(self._manager.live_transactions())
+        extra_pins: List[Transaction] = list(self._manager.latest_transactions())
+
+        alive: Set[Transaction] = set()
+        frontier = [r for r in roots if not r.collected]
+        while frontier:
+            tx = frontier.pop()
+            if tx in alive:
+                continue
+            alive.add(tx)
+            for edge in tx.out_edges:
+                if edge.dst not in alive:
+                    frontier.append(edge.dst)
+            if tx.intra_next is not None and tx.intra_next not in alive:
+                frontier.append(tx.intra_next)
+        alive.update(t for t in extra_pins if not t.collected)
+        alive.update(t for t in pinned if t is not None and not t.collected)
+
+        survivors: List[Transaction] = []
+        swept = 0
+        log_entries = 0
+        for tx in self._manager.all_transactions:
+            if tx in alive:
+                survivors.append(tx)
+                continue
+            swept += 1
+            tx.collected = True
+            if tx.log is not None:
+                log_entries += len(tx.log)
+                tx.log = None
+            self._unlink(tx, alive)
+        self._manager.all_transactions = survivors
+
+        self.stats.collections += 1
+        self.stats.transactions_collected += swept
+        self.stats.log_entries_collected += log_entries
+        return swept
+
+    @staticmethod
+    def _unlink(tx: Transaction, alive: Set[Transaction]) -> None:
+        """Remove references between the dead transaction and survivors."""
+        for edge in tx.out_edges:
+            if edge.dst in alive:
+                edge.dst.in_edges = [e for e in edge.dst.in_edges if e is not edge]
+        for edge in tx.in_edges:
+            if edge.src in alive:
+                edge.src.out_edges = [e for e in edge.src.out_edges if e is not edge]
+        if tx.intra_next is not None and tx.intra_next in alive:
+            tx.intra_next.intra_prev = None
+        if tx.intra_prev is not None and tx.intra_prev in alive:
+            tx.intra_prev.intra_next = None
+        tx.out_edges = []
+        tx.in_edges = []
+        tx.intra_next = None
+        tx.intra_prev = None
+
+    # ------------------------------------------------------------------
+    def live_transaction_count(self) -> int:
+        return len(self._manager.all_transactions)
+
+    def live_log_entries(self) -> int:
+        return sum(
+            len(tx.log) for tx in self._manager.all_transactions if tx.log is not None
+        )
+
+    def note_peak(self) -> None:
+        """Record peak footprint (harness calls this periodically)."""
+        txs = self.live_transaction_count()
+        logs = self.live_log_entries()
+        self.stats.peak_live_transactions = max(
+            self.stats.peak_live_transactions, txs
+        )
+        self.stats.peak_live_log_entries = max(
+            self.stats.peak_live_log_entries, logs
+        )

@@ -1,0 +1,237 @@
+"""Precise cycle detection (PCD) — Section 3.3.
+
+PCD is a sound and precise analysis that identifies dependence cycles
+among a set of transactions provided as input: the transactions of one
+imprecise SCC detected by ICD, their read/write logs, and the IDG
+edges anchored in those logs.  PCD "replays" the corresponding subset
+of the execution, tracking the last transaction to write each field
+and each thread's last transaction to read it (Figure 5), adding
+precise cross-thread edges to a PDG and checking for cycles after
+every new edge.  A detected cycle is a precise atomicity violation;
+blame assignment identifies the transaction that completed it.
+
+**Replay order.**  ICD provides cross-thread ordering through the edge
+marks embedded in the logs: the source mark of every IDG edge must be
+replayed before its sink mark.  PCD performs a topological merge of
+the component's logs under (a) per-thread program order and (b) those
+mark constraints.  Octet's happens-before guarantees make any
+linearization of that partial order agree on the relative order of
+conflicting accesses; our merge breaks ties with the executor's global
+sequence number, which is one such linearization (and lets a property
+test verify the agreement claim against the true execution order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.blame import blamed_nodes
+from repro.core.pdg import PDG, PdgEdge
+from repro.core.reports import ViolationRecord
+from repro.core.rwlog import AccessEntry, EdgeMark
+from repro.core.transactions import Transaction
+from repro.errors import OutOfMemoryBudget
+from repro.runtime.events import AccessKind
+
+
+@dataclass
+class PCDStats:
+    """Work counters for the precise analysis."""
+
+    components_processed: int = 0
+    transactions_processed: int = 0
+    entries_replayed: int = 0
+    accesses_replayed: int = 0
+    pdg_edges: int = 0
+    cycle_checks: int = 0
+    cycle_check_visits: int = 0
+    cycles_found: int = 0
+    order_fallbacks: int = 0
+
+
+class PCD:
+    """The precise analysis.
+
+    Args:
+        memory_budget: optional cap on the number of log entries a
+            single component may hold (the paper's PCD runs out of
+            memory on long-running transactions — raytracer and
+            sunflow9 — which this cap reproduces).
+    """
+
+    def __init__(self, memory_budget: Optional[int] = None) -> None:
+        self.memory_budget = memory_budget
+        self.stats = PCDStats()
+        self._reported_cycles: Set[frozenset] = set()
+
+    # ------------------------------------------------------------------
+    def process(self, component: Sequence[Transaction]) -> List[ViolationRecord]:
+        """Replay one ICD component; returns precise violations found."""
+        self.stats.components_processed += 1
+        members = [tx for tx in component if tx.log is not None]
+        self.stats.transactions_processed += len(members)
+        if len(members) < 2:
+            return []
+
+        total_entries = sum(len(tx.log) for tx in members)
+        if self.memory_budget is not None and total_entries > self.memory_budget:
+            raise OutOfMemoryBudget("PCD", total_entries, self.memory_budget)
+
+        merged = self._merge_logs(members)
+        return self._replay(merged)
+
+    # ------------------------------------------------------------------
+    # topological merge
+    # ------------------------------------------------------------------
+    def _merge_logs(
+        self, members: Sequence[Transaction]
+    ) -> List[Tuple[Transaction, AccessEntry]]:
+        member_ids = {tx.tx_id for tx in members}
+        # edge orders whose both endpoints are in the component: these
+        # marks constrain the merge; marks of other edges are inert
+        constrained: Set[int] = set()
+        for tx in members:
+            for edge in tx.out_edges:
+                if edge.dst.tx_id in member_ids:
+                    constrained.add(edge.order)
+
+        # per-thread streams: a thread's transactions replay in creation
+        # order, and each log is already ordered
+        by_thread: Dict[str, List[Transaction]] = {}
+        for tx in sorted(members, key=lambda t: t.tx_id):
+            by_thread.setdefault(tx.thread_name, []).append(tx)
+        streams: List[List[Tuple[Transaction, object]]] = []
+        for txs in by_thread.values():
+            stream: List[Tuple[Transaction, object]] = []
+            for tx in txs:
+                stream.extend((tx, entry) for entry in tx.log.entries)
+            streams.append(stream)
+
+        emitted_sources: Set[int] = set()
+        positions = [0] * len(streams)
+        merged: List[Tuple[Transaction, AccessEntry]] = []
+        remaining = sum(len(s) for s in streams)
+
+        def ready(index: int) -> bool:
+            pos = positions[index]
+            stream = streams[index]
+            if pos >= len(stream):
+                return False
+            entry = stream[pos][1]
+            if isinstance(entry, EdgeMark) and not entry.is_source:
+                if entry.edge_order in constrained:
+                    return entry.edge_order in emitted_sources
+            return True
+
+        def entry_seq(index: int) -> int:
+            entry = streams[index][positions[index]][1]
+            return entry.seq  # type: ignore[attr-defined]
+
+        while remaining:
+            candidates = [i for i in range(len(streams)) if ready(i)]
+            if not candidates:
+                # inconsistent anchors should be impossible; fall back to
+                # raw sequence order rather than failing the analysis
+                self.stats.order_fallbacks += 1
+                candidates = [
+                    i
+                    for i in range(len(streams))
+                    if positions[i] < len(streams[i])
+                ]
+            index = min(candidates, key=entry_seq)
+            tx, entry = streams[index][positions[index]]
+            positions[index] += 1
+            remaining -= 1
+            self.stats.entries_replayed += 1
+            if isinstance(entry, EdgeMark):
+                if entry.is_source:
+                    emitted_sources.add(entry.edge_order)
+                continue
+            merged.append((tx, entry))  # type: ignore[arg-type]
+        return merged
+
+    # ------------------------------------------------------------------
+    # Figure 5 replay
+    # ------------------------------------------------------------------
+    def _replay(
+        self, merged: List[Tuple[Transaction, AccessEntry]]
+    ) -> List[ViolationRecord]:
+        last_write: Dict[Tuple[int, str], Transaction] = {}
+        last_reads: Dict[Tuple[int, str], Dict[str, Transaction]] = {}
+        tx_by_id: Dict[int, Transaction] = {}
+        #: per-thread most recent transaction seen during replay, for
+        #: the intra-thread (program-order) edges — cycles can mix
+        #: program-order and dependence edges (see repro.core.pdg)
+        chain: Dict[str, Transaction] = {}
+        pdg = PDG()
+        violations: List[ViolationRecord] = []
+
+        for tx, entry in merged:
+            self.stats.accesses_replayed += 1
+            if tx.tx_id not in tx_by_id:
+                previous = chain.get(tx.thread_name)
+                if previous is not None and previous is not tx:
+                    # created at tx start; can never close a cycle
+                    pdg.add_edge(previous.tx_id, tx.tx_id)
+                chain[tx.thread_name] = tx
+            tx_by_id[tx.tx_id] = tx
+            address = entry.address
+            new_edges: List[PdgEdge] = []
+
+            writer = last_write.get(address)
+            if writer is not None and writer.thread_name != tx.thread_name:
+                edge = pdg.add_edge(writer.tx_id, tx.tx_id)
+                if edge is not None:
+                    new_edges.append(edge)
+
+            if entry.kind is AccessKind.READ:
+                last_reads.setdefault(address, {})[tx.thread_name] = tx
+            else:
+                readers = last_reads.get(address)
+                if readers:
+                    for thread_name, reader in readers.items():
+                        if thread_name != tx.thread_name:
+                            edge = pdg.add_edge(reader.tx_id, tx.tx_id)
+                            if edge is not None:
+                                new_edges.append(edge)
+                    readers.clear()
+                last_write[address] = tx
+
+            for edge in new_edges:
+                self.stats.pdg_edges += 1
+                cycle = pdg.find_cycle_through(edge)
+                self.stats.cycle_checks += 1
+                if cycle is None:
+                    continue
+                record = self._report(cycle, tx_by_id)
+                if record is not None:
+                    violations.append(record)
+        self.stats.cycle_check_visits += pdg.nodes_visited
+        return violations
+
+    # ------------------------------------------------------------------
+    def _report(
+        self, cycle: List[PdgEdge], tx_by_id: Dict[int, Transaction]
+    ) -> Optional[ViolationRecord]:
+        key = frozenset((e.src, e.dst) for e in cycle)
+        if key in self._reported_cycles:
+            return None
+        self._reported_cycles.add(key)
+        self.stats.cycles_found += 1
+        blamed = blamed_nodes(cycle)
+        # prefer blaming a regular transaction: unary transactions are
+        # not part of the atomicity specification, so blaming one gives
+        # iterative refinement nothing to remove
+        regular = [b for b in blamed if not tx_by_id[b].is_unary]
+        blamed_id = (regular or blamed)[0]
+        blamed_tx = tx_by_id[blamed_id]
+        cycle_ids = tuple(e.src for e in cycle)
+        return ViolationRecord(
+            blamed_method=blamed_tx.method,
+            blamed_tx_id=blamed_id,
+            thread_name=blamed_tx.thread_name,
+            cycle_methods=tuple(tx_by_id[i].method for i in cycle_ids),
+            cycle_tx_ids=cycle_ids,
+            detector="pcd",
+        )

@@ -1,0 +1,68 @@
+"""Violation reports.
+
+Table 2 counts *static* violations: a method counts once if blame
+assignment identified it at least once during iterative refinement,
+no matter how many dynamic cycles involved it.  The
+:class:`ViolationSummary` therefore keeps every dynamic record but
+exposes the static view the evaluation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Set, Tuple
+
+
+@dataclass(frozen=True)
+class ViolationRecord:
+    """One dynamic atomicity violation (a precise dependence cycle).
+
+    Attributes:
+        blamed_method: static identity of the blamed transaction.
+        blamed_tx_id: the blamed transaction.
+        thread_name: thread executing the blamed transaction.
+        cycle_methods: static identities of every transaction in the
+            cycle, in cycle order.
+        cycle_tx_ids: the dynamic transactions in the cycle.
+        detector: "pcd" or "velodrome".
+    """
+
+    blamed_method: str
+    blamed_tx_id: int
+    thread_name: str
+    cycle_methods: Tuple[str, ...]
+    cycle_tx_ids: Tuple[int, ...]
+    detector: str
+
+    @property
+    def cycle_size(self) -> int:
+        return len(self.cycle_tx_ids)
+
+
+@dataclass
+class ViolationSummary:
+    """All violations reported during one run (or one refinement step)."""
+
+    records: List[ViolationRecord] = field(default_factory=list)
+
+    def add(self, record: ViolationRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records: List[ViolationRecord]) -> None:
+        self.records.extend(records)
+
+    def blamed_methods(self) -> Set[str]:
+        """The static violations: methods blamed at least once."""
+        return {r.blamed_method for r in self.records}
+
+    def dynamic_count(self) -> int:
+        return len(self.records)
+
+    def static_count(self) -> int:
+        return len(self.blamed_methods())
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    def merge(self, other: "ViolationSummary") -> None:
+        self.records.extend(other.records)

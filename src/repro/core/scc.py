@@ -1,0 +1,93 @@
+"""Strongly connected component detection over the IDG.
+
+ICD defers cycle detection to transaction end (Section 3.2.3) and then
+computes the maximal SCC containing the transaction that just ended.
+The computation explores a transaction only if it has finished, which
+is sound (if a transaction is involved in cycles, an SCC computation
+launched when its last-finishing member ends will detect them) and
+avoids racing with threads still updating their current transaction.
+
+The implementation is an iterative Tarjan restricted to finished
+transactions, returning the SCC that contains the root.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.transactions import Transaction
+
+
+def scc_containing(root: Transaction) -> List[Transaction]:
+    """Return the members of ``root``'s SCC (size 1 if acyclic).
+
+    Only finished transactions are explored; unfinished successors are
+    skipped exactly as the paper prescribes.
+    """
+    if not root.finished:
+        return [root]
+
+    index_of: Dict[Transaction, int] = {}
+    lowlink: Dict[Transaction, int] = {}
+    on_stack: Set[Transaction] = set()
+    stack: List[Transaction] = []
+    result: Optional[List[Transaction]] = None
+    counter = 0
+
+    # iterative Tarjan: work items are (node, iterator over successors)
+    work: List[tuple[Transaction, int, List[Transaction]]] = []
+
+    def push(node: Transaction) -> None:
+        nonlocal counter
+        index_of[node] = counter
+        lowlink[node] = counter
+        counter += 1
+        stack.append(node)
+        on_stack.add(node)
+        successors = [s for s in node.successors() if s.finished and not s.collected]
+        work.append((node, 0, successors))
+
+    push(root)
+    while work:
+        node, i, successors = work.pop()
+        if i > 0:
+            # returned from recursing into successors[i - 1]
+            prev = successors[i - 1]
+            lowlink[node] = min(lowlink[node], lowlink[prev])
+        advanced = False
+        while i < len(successors):
+            succ = successors[i]
+            i += 1
+            if succ not in index_of:
+                work.append((node, i, successors))
+                push(succ)
+                advanced = True
+                break
+            if succ in on_stack:
+                lowlink[node] = min(lowlink[node], index_of[succ])
+        if advanced:
+            continue
+        # node finished: pop its SCC if it is a root
+        if lowlink[node] == index_of[node]:
+            component: List[Transaction] = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member is node:
+                    break
+            if node is root:
+                result = component
+
+    assert result is not None, "root must belong to some SCC"
+    return result
+
+
+def is_cyclic_component(component: List[Transaction]) -> bool:
+    """True when the component represents at least one cycle.
+
+    Self-loops cannot occur in the IDG (ICD never adds an edge from a
+    transaction to itself), so a component is cyclic iff it has more
+    than one member.
+    """
+    return len(component) > 1

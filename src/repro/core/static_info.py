@@ -1,0 +1,120 @@
+"""Static transaction information passed between multi-run mode's runs.
+
+The first run identifies all regular (non-unary) transactions involved
+in imprecise cycles *by their static starting locations* (method
+names), plus a single boolean recording whether *any* unary transaction
+was involved in any cycle — identifying unary transactions precisely
+would require recording the program location of every
+non-transactional access (Section 3.1).  The second run instruments
+only the identified regular transactions, and instruments
+non-transactional accesses iff the boolean is set.
+
+**Extension (the paper's future-work direction).**  Section 5.3 closes
+with: "A promising direction for future work is to devise an effective
+way for the first run to more precisely communicate potentially
+imprecise cycles to the second run."  This reproduction implements one
+such refinement: when the first run is asked to *track unary sites*,
+it records the enclosing method of each access an in-cycle unary
+transaction performed (a bounded set of method names — far cheaper
+than per-access locations) and ships them as :attr:`unary_methods`.
+A second run using ``selective_unary`` then instruments only
+non-transactional accesses occurring inside those methods, instead of
+all of them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set
+
+from repro.core.transactions import Transaction
+
+
+@dataclass(frozen=True)
+class StaticTransactionInfo:
+    """The first run's product: static methods + unary information."""
+
+    methods: FrozenSet[str]
+    any_unary: bool
+    #: extension: enclosing methods of in-cycle unary accesses (empty
+    #: unless the first run tracked unary sites)
+    unary_methods: FrozenSet[str] = field(default=frozenset())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "StaticTransactionInfo":
+        return cls(frozenset(), False)
+
+    @classmethod
+    def from_components(
+        cls,
+        components: Iterable[Sequence[Transaction]],
+        unary_sites: Optional[Dict[int, Set[str]]] = None,
+    ) -> "StaticTransactionInfo":
+        """Summarize the SCCs one ICD-only run detected.
+
+        ``unary_sites`` maps unary transaction ids to the enclosing
+        methods of their accesses (the tracking extension).
+        """
+        methods = set()
+        unary_methods: Set[str] = set()
+        any_unary = False
+        for component in components:
+            for tx in component:
+                if tx.is_unary:
+                    any_unary = True
+                    if unary_sites is not None:
+                        unary_methods |= unary_sites.get(tx.tx_id, set())
+                else:
+                    methods.add(tx.method)
+        return cls(frozenset(methods), any_unary, frozenset(unary_methods))
+
+    # ------------------------------------------------------------------
+    def union(self, other: "StaticTransactionInfo") -> "StaticTransactionInfo":
+        """Combine information from multiple first runs (Section 5.1:
+        the second run takes the union of the transactions reported
+        across 10 first-run trials)."""
+        return StaticTransactionInfo(
+            self.methods | other.methods,
+            self.any_unary or other.any_unary,
+            self.unary_methods | other.unary_methods,
+        )
+
+    @classmethod
+    def union_all(
+        cls, infos: Iterable["StaticTransactionInfo"]
+    ) -> "StaticTransactionInfo":
+        combined = cls.empty()
+        for info in infos:
+            combined = combined.union(info)
+        return combined
+
+    # ------------------------------------------------------------------
+    def monitors_method(self, method: str) -> bool:
+        return method in self.methods
+
+    def is_empty(self) -> bool:
+        return not self.methods and not self.any_unary
+
+    # ------------------------------------------------------------------
+    # persistence: multi-run mode hands information between *processes*
+    # in a deployment setting, so the info is serializable
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "methods": sorted(self.methods),
+                "any_unary": self.any_unary,
+                "unary_methods": sorted(self.unary_methods),
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "StaticTransactionInfo":
+        data = json.loads(text)
+        return cls(
+            frozenset(data["methods"]),
+            bool(data["any_unary"]),
+            frozenset(data.get("unary_methods", ())),
+        )

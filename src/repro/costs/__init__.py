@@ -1,0 +1,5 @@
+"""Event-cost accounting and the calibrated execution-time model."""
+
+from repro.costs.model import CostBreakdown, CostModel, CostWeights
+
+__all__ = ["CostBreakdown", "CostModel", "CostWeights"]

@@ -1,0 +1,61 @@
+"""Exception types shared across the DoubleChecker reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class OutOfMemoryBudget(ReproError):
+    """Raised when a checker exceeds its configured memory budget.
+
+    The paper's 32-bit JVM runs out of virtual memory for several
+    configurations (single-run mode on moldyn/raytracer with standard
+    inputs, the PCD-only variant on four benchmarks, xalan6 with a fully
+    refined specification).  We reproduce those methodology notes with an
+    explicit budget measured in metadata units (log entries plus live
+    graph nodes) instead of bytes.
+    """
+
+    def __init__(self, component: str, used: int, budget: int) -> None:
+        super().__init__(
+            f"{component} exceeded its memory budget: used {used} units, "
+            f"budget {budget} units"
+        )
+        self.component = component
+        self.used = used
+        self.budget = budget
+
+
+class SpecificationError(ReproError):
+    """Raised for malformed atomicity specifications."""
+
+
+class ProgramError(ReproError):
+    """Raised when a simulated program misuses the runtime.
+
+    Examples: releasing a lock the thread does not hold, waiting on an
+    object without owning its monitor, joining an unknown thread.
+    """
+
+
+class DeadlockError(ReproError):
+    """Raised when no runnable thread remains but threads are blocked."""
+
+    def __init__(self, blocked: dict[str, str]) -> None:
+        detail = ", ".join(f"{name}: {why}" for name, why in sorted(blocked.items()))
+        super().__init__(f"deadlock: all live threads are blocked ({detail})")
+        self.blocked = blocked
+
+
+class SchedulerError(ReproError):
+    """Raised when a scheduler makes an illegal choice."""
+
+
+class StepLimitExceeded(ReproError):
+    """Raised when an execution exceeds the executor's step limit."""
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(f"execution exceeded the step limit of {limit} operations")
+        self.limit = limit

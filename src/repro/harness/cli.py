@@ -1,0 +1,88 @@
+"""Command-line entry point: ``doublechecker-experiments``.
+
+Regenerates the paper's evaluation artefacts as text tables::
+
+    doublechecker-experiments table2
+    doublechecker-experiments figure7 --names eclipse6 xalan6
+    doublechecker-experiments all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.harness import figure7, section54, table2, table3
+
+EXPERIMENTS = (
+    "table2",
+    "table3",
+    "figure7",
+    "unsound",
+    "refinement-phases",
+    "arrays",
+    "pcd-only",
+    "second-run-variants",
+)
+
+
+def _generate(experiment: str, names: Optional[List[str]]) -> str:
+    if experiment == "table2":
+        return table2.generate(names).render()
+    if experiment == "table3":
+        return table3.generate(names).render()
+    if experiment == "figure7":
+        return figure7.generate(names).render()
+    if experiment == "unsound":
+        return section54.unsound_velodrome(names).render()
+    if experiment == "refinement-phases":
+        return section54.refinement_phases(names).render()
+    if experiment == "arrays":
+        return section54.arrays(names).render()
+    if experiment == "pcd-only":
+        return section54.pcd_only(names).render()
+    if experiment == "second-run-variants":
+        return section54.second_run_variants(names).render()
+    raise ValueError(f"unknown experiment: {experiment}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="doublechecker-experiments",
+        description="Regenerate the DoubleChecker paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all",),
+        help="which artefact to regenerate",
+    )
+    parser.add_argument(
+        "--names",
+        nargs="*",
+        default=None,
+        help="restrict to these benchmarks (default: the experiment's set)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="directory to write <experiment>.txt files into",
+    )
+    args = parser.parse_args(argv)
+
+    experiments = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment in experiments:
+        rendered = _generate(experiment, args.names)
+        print(rendered)
+        print()
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, f"{experiment}.txt")
+            with open(path, "w") as handle:
+                handle.write(rendered + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

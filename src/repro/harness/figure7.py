@@ -1,0 +1,182 @@
+"""Figure 7 — normalized execution time of all configurations.
+
+For each compute-bound benchmark under its final refined specification:
+
+* **Unmodified** — the uninstrumented executor (the 1.0 baseline);
+* **Velodrome** — the sound+precise online baseline;
+* **Single-run (ICD+PCD)** — DoubleChecker's fully sound mode;
+* **First run (ICD w/o logging)** — multi-run mode's first run;
+* **Second run (ICD+PCD)** — multi-run mode's second run, restricted to
+  the static transactions identified by first runs.
+
+Each configuration reports the *modelled* normalized execution time
+(the calibrated event-cost model; see :mod:`repro.costs.model`), its
+GC share (Figure 7's sub-bars), and — as a secondary signal — the
+measured wall-clock ratio of the Python analyses themselves.  Medians
+over ``trials`` seeds, geomean across benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.static_info import StaticTransactionInfo
+from repro.costs.model import CostModel
+from repro.harness import runner
+from repro.harness.rendering import render_table
+from repro.stats.summary import geomean, median
+from repro.workloads import compute_bound_names
+
+CONFIGS = ("velodrome", "single", "first", "second")
+
+
+@dataclass
+class Figure7Row:
+    """One benchmark's bars."""
+
+    name: str
+    #: configuration -> modelled normalized execution time
+    normalized: Dict[str, float] = field(default_factory=dict)
+    #: configuration -> modelled GC share of total time
+    gc_fraction: Dict[str, float] = field(default_factory=dict)
+    #: configuration -> measured wall-clock ratio vs baseline
+    measured: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Figure7Result:
+    rows: List[Figure7Row]
+
+    def geomeans(self) -> Dict[str, float]:
+        out = {}
+        for config in CONFIGS:
+            values = [r.normalized[config] for r in self.rows]
+            out[config] = geomean(values)
+        return out
+
+    def measured_geomeans(self) -> Dict[str, float]:
+        out = {}
+        for config in CONFIGS:
+            values = [r.measured[config] for r in self.rows if r.measured]
+            out[config] = geomean(values) if values else float("nan")
+        return out
+
+    def render(self) -> str:
+        headers = [
+            "benchmark",
+            "Velodrome",
+            "Single-run",
+            "First run",
+            "Second run",
+            "gc%V",
+            "gc%S",
+            "measV",
+            "measS",
+            "meas1",
+            "meas2",
+        ]
+        rows = []
+        for r in self.rows:
+            rows.append(
+                [
+                    r.name,
+                    r.normalized["velodrome"],
+                    r.normalized["single"],
+                    r.normalized["first"],
+                    r.normalized["second"],
+                    f"{r.gc_fraction['velodrome']:.0%}",
+                    f"{r.gc_fraction['single']:.0%}",
+                    r.measured.get("velodrome", float("nan")),
+                    r.measured.get("single", float("nan")),
+                    r.measured.get("first", float("nan")),
+                    r.measured.get("second", float("nan")),
+                ]
+            )
+        means = self.geomeans()
+        measured = self.measured_geomeans()
+        rows.append(
+            [
+                "geomean",
+                means["velodrome"],
+                means["single"],
+                means["first"],
+                means["second"],
+                "",
+                "",
+                measured["velodrome"],
+                measured["single"],
+                measured["first"],
+                measured["second"],
+            ]
+        )
+        return render_table(
+            headers,
+            rows,
+            title=(
+                "Figure 7: normalized execution time "
+                "(modelled; meas* = measured wall-clock ratio)"
+            ),
+        )
+
+
+def generate(
+    names: Optional[Sequence[str]] = None,
+    *,
+    trials: int = 3,
+    first_trials: int = 2,
+    seed_base: int = 50_000,
+    model: Optional[CostModel] = None,
+) -> Figure7Result:
+    """Regenerate Figure 7 (default: the 16 compute-bound benchmarks)."""
+    model = model or CostModel()
+    rows = []
+    for name in names or compute_bound_names():
+        spec = runner.final_spec(name)
+        seeds = [seed_base + i for i in range(trials)]
+
+        baselines = [runner.baseline_steps(name, s) for s in seeds]
+        base_wall = median([b.elapsed_seconds for b in baselines])
+
+        row = Figure7Row(name)
+
+        velodrome = [runner.run_velodrome(name, spec, s) for s in seeds]
+        breakdowns = [model.velodrome(r) for r in velodrome]
+        row.normalized["velodrome"] = median(
+            [b.normalized_time for b in breakdowns]
+        )
+        row.gc_fraction["velodrome"] = median([b.gc_fraction for b in breakdowns])
+        row.measured["velodrome"] = (
+            median([r.elapsed_seconds for r in velodrome]) / base_wall
+        )
+
+        single = [runner.run_single(name, spec, s) for s in seeds]
+        breakdowns = [model.double_checker_single(r) for r in single]
+        row.normalized["single"] = median([b.normalized_time for b in breakdowns])
+        row.gc_fraction["single"] = median([b.gc_fraction for b in breakdowns])
+        row.measured["single"] = (
+            median([r.elapsed_seconds for r in single]) / base_wall
+        )
+
+        firsts = [runner.run_first(name, spec, s) for s in seeds]
+        breakdowns = [model.double_checker_first(r) for r in firsts]
+        row.normalized["first"] = median([b.normalized_time for b in breakdowns])
+        row.gc_fraction["first"] = median([b.gc_fraction for b in breakdowns])
+        row.measured["first"] = (
+            median([r.elapsed_seconds for r in firsts]) / base_wall
+        )
+
+        info = StaticTransactionInfo.union_all(
+            runner.run_first(name, spec, seed_base + 100 + i).static_info
+            for i in range(first_trials)
+        )
+        seconds = [runner.run_second(name, spec, info, s) for s in seeds]
+        breakdowns = [model.double_checker_single(r) for r in seconds]
+        row.normalized["second"] = median([b.normalized_time for b in breakdowns])
+        row.gc_fraction["second"] = median([b.gc_fraction for b in breakdowns])
+        row.measured["second"] = (
+            median([r.elapsed_seconds for r in seconds]) / base_wall
+        )
+
+        rows.append(row)
+    return Figure7Result(rows)

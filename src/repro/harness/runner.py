@@ -1,0 +1,238 @@
+"""Shared harness plumbing.
+
+Responsibilities:
+
+* build benchmark programs and matching atomicity specifications
+  (including the paper's out-of-memory spec adjustments);
+* run individual (benchmark, checker, seed) cells;
+* run iterative refinement per checker and derive the *final*
+  specifications used by the performance experiments (the intersection
+  of Velodrome's and single-run mode's converged specs, Section 5.1);
+* cache final specs on disk so repeated benchmark invocations do not
+  redo refinement.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.doublechecker import (
+    DoubleChecker,
+    FirstRunResult,
+    MultiRunResult,
+    SingleRunResult,
+)
+from repro.core.static_info import StaticTransactionInfo
+from repro.runtime.executor import ExecutionResult, Executor
+from repro.runtime.program import Program
+from repro.runtime.scheduler import RandomScheduler, Scheduler
+from repro.spec.refinement import RefinementResult, iterative_refinement
+from repro.spec.specification import AtomicitySpecification
+from repro.velodrome.checker import VelodromeChecker, VelodromeResult
+from repro.workloads import build, get_spec
+
+#: context-switch probability for harness schedulers; high enough to
+#: expose interleavings, matching a loaded test machine
+SWITCH_PROB = 0.5
+
+#: where final-spec caches live (safe to delete at any time)
+CACHE_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", ".repro_cache")
+
+
+def make_scheduler(seed: int) -> RandomScheduler:
+    """The harness's standard seeded scheduler."""
+    return RandomScheduler(seed=seed, switch_prob=SWITCH_PROB)
+
+
+def initial_spec(name: str) -> AtomicitySpecification:
+    """Initial specification for a benchmark, with OOM adjustments.
+
+    The paper excludes raytracer's and sunflow9's long-running atomic
+    methods because PCD runs out of memory on their logs (Section 5.1);
+    the catalog records those methods as ``spec_adjustments``.
+    """
+    program = build(name)
+    spec = AtomicitySpecification.initial(program)
+    adjustments = [
+        m for m in get_spec(name).spec_adjustments if m in spec.all_methods
+    ]
+    return spec.exclude(adjustments)
+
+
+# ----------------------------------------------------------------------
+# single cells
+# ----------------------------------------------------------------------
+@dataclass
+class CellResult:
+    """One (benchmark, configuration, seed) execution."""
+
+    name: str
+    config: str
+    blamed: Set[str]
+    execution: ExecutionResult
+
+
+def baseline_steps(name: str, seed: int = 0) -> ExecutionResult:
+    """Run the uninstrumented program (the Figure 7 baseline)."""
+    executor = Executor(build(name), make_scheduler(seed))
+    return executor.run()
+
+
+def run_velodrome(
+    name: str, spec: AtomicitySpecification, seed: int
+) -> VelodromeResult:
+    checker = VelodromeChecker(spec)
+    return checker.run(build(name), make_scheduler(seed))
+
+
+def run_single(
+    name: str,
+    spec: AtomicitySpecification,
+    seed: int,
+    *,
+    pcd_memory_budget: Optional[int] = None,
+) -> SingleRunResult:
+    checker = DoubleChecker(spec, pcd_memory_budget=pcd_memory_budget)
+    return checker.run_single(build(name), make_scheduler(seed))
+
+
+def run_first(
+    name: str, spec: AtomicitySpecification, seed: int
+) -> FirstRunResult:
+    checker = DoubleChecker(spec)
+    return checker.run_first(build(name), make_scheduler(seed))
+
+
+def run_second(
+    name: str,
+    spec: AtomicitySpecification,
+    info: StaticTransactionInfo,
+    seed: int,
+    *,
+    always_instrument_unary: bool = False,
+) -> SingleRunResult:
+    checker = DoubleChecker(spec)
+    return checker.run_second(
+        build(name),
+        info,
+        make_scheduler(seed),
+        always_instrument_unary=always_instrument_unary,
+    )
+
+
+def run_multi(
+    name: str,
+    spec: AtomicitySpecification,
+    seed: int,
+    *,
+    first_trials: int = 3,
+) -> MultiRunResult:
+    checker = DoubleChecker(spec)
+    return checker.run_multi(
+        lambda: build(name),
+        first_trials=first_trials,
+        scheduler_factory=lambda t: make_scheduler(seed * 1000 + t),
+        second_scheduler=make_scheduler(seed * 1000 + 999),
+    )
+
+
+# ----------------------------------------------------------------------
+# refinement per checker
+# ----------------------------------------------------------------------
+def refine(
+    name: str,
+    checker: str,
+    *,
+    trials_per_step: int = 3,
+    seed_base: int = 0,
+    first_trials: int = 2,
+) -> RefinementResult:
+    """Run iterative refinement with one checker configuration.
+
+    ``checker`` is ``"velodrome"``, ``"single"``, or ``"multi"``.
+    """
+    spec0 = initial_spec(name)
+
+    def velodrome_runner(spec: AtomicitySpecification, trial: int) -> Set[str]:
+        return run_velodrome(name, spec, seed_base + trial).blamed_methods
+
+    def single_runner(spec: AtomicitySpecification, trial: int) -> Set[str]:
+        return run_single(name, spec, seed_base + trial).blamed_methods
+
+    def multi_runner(spec: AtomicitySpecification, trial: int) -> Set[str]:
+        result = run_multi(
+            name, spec, seed_base + trial, first_trials=first_trials
+        )
+        return result.violations.blamed_methods()
+
+    runners: Dict[str, Callable[[AtomicitySpecification, int], Set[str]]] = {
+        "velodrome": velodrome_runner,
+        "single": single_runner,
+        "multi": multi_runner,
+    }
+    return iterative_refinement(
+        spec0, runners[checker], trials_per_step=trials_per_step
+    )
+
+
+# ----------------------------------------------------------------------
+# final specifications (cached)
+# ----------------------------------------------------------------------
+_FINAL_SPEC_MEMO: Dict[str, AtomicitySpecification] = {}
+
+
+def _cache_path() -> str:
+    os.makedirs(CACHE_DIR, exist_ok=True)
+    return os.path.join(CACHE_DIR, "final_specs.json")
+
+
+def _load_cache() -> Dict[str, List[str]]:
+    try:
+        with open(_cache_path()) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return {}
+
+
+def _store_cache(cache: Dict[str, List[str]]) -> None:
+    try:
+        with open(_cache_path(), "w") as handle:
+            json.dump(cache, handle, indent=1, sort_keys=True)
+    except OSError:
+        pass  # caching is best-effort
+
+
+def final_spec(name: str, *, use_cache: bool = True) -> AtomicitySpecification:
+    """The refined specification used by performance experiments.
+
+    The intersection of the specs Velodrome and single-run mode each
+    converge to, avoiding bias toward one approach (Section 5.1).
+    """
+    if name in _FINAL_SPEC_MEMO:
+        return _FINAL_SPEC_MEMO[name]
+    cache = _load_cache() if use_cache else {}
+    spec0 = initial_spec(name)
+    if name in cache:
+        excluded = [m for m in cache[name] if m in spec0.all_methods]
+        spec = spec0.exclude(excluded)
+    else:
+        velodrome = refine(name, "velodrome", seed_base=0)
+        single = refine(name, "single", seed_base=10_000)
+        spec = velodrome.final_spec.intersect(single.final_spec)
+        cache[name] = sorted(spec.excluded)
+        if use_cache:
+            _store_cache(cache)
+    _FINAL_SPEC_MEMO[name] = spec
+    return spec
+
+
+def clear_caches() -> None:
+    """Drop the in-memory and on-disk final-spec caches (test hook)."""
+    _FINAL_SPEC_MEMO.clear()
+    try:
+        os.remove(_cache_path())
+    except OSError:
+        pass

@@ -1,0 +1,378 @@
+"""Section 5.3/5.4 side experiments.
+
+* :func:`unsound_velodrome` — the Velodrome variant that eschews
+  synchronization when metadata need not change (paper: 4.1X vs 6.1X,
+  crashes on avrora9, still slower than DoubleChecker).
+* :func:`refinement_phases` — single-run mode's slowdown at the start,
+  halfway point, and end of iterative refinement (paper: 3.4X / 3.6X /
+  3.6X).
+* :func:`arrays` — the extra overhead of instrumenting array accesses
+  with array-granularity metadata (cycle detection disabled because the
+  conflation makes both analyses imprecise; xalan6/xalan9 excluded as
+  they run out of memory in the paper).
+* :func:`pcd_only` — the straw man where PCD processes every executed
+  transaction (paper: 3.1X → 16.6X, with four benchmarks excluded for
+  running out of memory).
+* :func:`second_run_variants` — the second run with unconditional unary
+  instrumentation (paper: 169% vs 140% overhead) and with Velodrome as
+  the precise second-run checker (paper: 2.9X vs 2.4X).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.doublechecker import DoubleChecker
+from repro.core.static_info import StaticTransactionInfo
+from repro.costs.model import CostModel
+from repro.errors import OutOfMemoryBudget
+from repro.harness import runner
+from repro.harness.rendering import render_table
+from repro.stats.summary import geomean, median
+from repro.velodrome.checker import VelodromeChecker
+from repro.velodrome.unsound import MetadataRaceError, UnsoundVelodrome
+from repro.workloads import build, compute_bound_names
+
+
+# ----------------------------------------------------------------------
+# unsound Velodrome (Section 5.3)
+# ----------------------------------------------------------------------
+@dataclass
+class UnsoundVelodromeResult:
+    rows: List[Tuple[str, float, float, str]]  # name, sound, unsound, note
+
+    def geomeans(self) -> Tuple[float, float]:
+        sound = [r[1] for r in self.rows if r[3] != "crash"]
+        unsound = [r[2] for r in self.rows if r[3] != "crash"]
+        return geomean(sound), geomean(unsound)
+
+    def render(self) -> str:
+        rows = [
+            [name, sound, unsound if note != "crash" else "-", note]
+            for name, sound, unsound, note in self.rows
+        ]
+        gs, gu = self.geomeans()
+        rows.append(["geomean(no-crash)", gs, gu, ""])
+        return render_table(
+            ["benchmark", "Velodrome", "unsound variant", "note"],
+            rows,
+            title="Unsound Velodrome variant (Section 5.3)",
+        )
+
+
+def unsound_velodrome(
+    names: Optional[Sequence[str]] = None,
+    *,
+    trials: int = 3,
+    seed_base: int = 60_000,
+    model: Optional[CostModel] = None,
+    crash_threshold: int = 15,
+) -> UnsoundVelodromeResult:
+    """Compare sound Velodrome with the unsound variant."""
+    model = model or CostModel()
+    rows = []
+    for name in names or compute_bound_names():
+        spec = runner.final_spec(name)
+        seeds = [seed_base + i for i in range(trials)]
+        sound = median(
+            [
+                model.velodrome(runner.run_velodrome(name, spec, s)).normalized_time
+                for s in seeds
+            ]
+        )
+        unsound_values = []
+        note = ""
+        for s in seeds:
+            checker = UnsoundVelodrome(
+                spec, seed=s, crash_threshold=crash_threshold
+            )
+            try:
+                result = checker.run(build(name), runner.make_scheduler(s))
+            except MetadataRaceError:
+                note = "crash"
+                break
+            unsound_values.append(model.velodrome(result).normalized_time)
+        unsound = median(unsound_values) if unsound_values else float("nan")
+        rows.append((name, sound, unsound, note))
+    return UnsoundVelodromeResult(rows)
+
+
+# ----------------------------------------------------------------------
+# performance during iterative refinement (Section 5.4)
+# ----------------------------------------------------------------------
+@dataclass
+class RefinementPhasesResult:
+    #: benchmark -> (start, halfway, final) normalized times
+    rows: Dict[str, Tuple[float, float, float]]
+
+    def geomeans(self) -> Tuple[float, float, float]:
+        start = geomean([v[0] for v in self.rows.values()])
+        half = geomean([v[1] for v in self.rows.values()])
+        final = geomean([v[2] for v in self.rows.values()])
+        return start, half, final
+
+    def render(self) -> str:
+        rows = [
+            [name, start, half, final]
+            for name, (start, half, final) in sorted(self.rows.items())
+        ]
+        gs, gh, gf = self.geomeans()
+        rows.append(["geomean", gs, gh, gf])
+        return render_table(
+            ["benchmark", "start", "halfway", "final"],
+            rows,
+            title="Single-run slowdown across iterative refinement (Section 5.4)",
+        )
+
+
+def refinement_phases(
+    names: Optional[Sequence[str]] = None,
+    *,
+    trials: int = 2,
+    seed_base: int = 70_000,
+    model: Optional[CostModel] = None,
+) -> RefinementPhasesResult:
+    """Single-run mode's cost at the start/halfway/end of refinement."""
+    model = model or CostModel()
+    rows: Dict[str, Tuple[float, float, float]] = {}
+    for name in names or compute_bound_names():
+        refinement = runner.refine(name, "single", seed_base=seed_base)
+        phases = []
+        for fraction in (0.0, 0.5, 1.0):
+            spec = refinement.spec_at_fraction(fraction)
+            values = [
+                model.double_checker_single(
+                    runner.run_single(name, spec, seed_base + i)
+                ).normalized_time
+                for i in range(trials)
+            ]
+            phases.append(median(values))
+        rows[name] = (phases[0], phases[1], phases[2])
+    return RefinementPhasesResult(rows)
+
+
+# ----------------------------------------------------------------------
+# array instrumentation (Section 5.4)
+# ----------------------------------------------------------------------
+ARRAY_EXCLUDED = ("xalan6", "xalan9")  # out of memory in the paper
+
+
+@dataclass
+class ArraysResult:
+    #: benchmark -> (dc_no_arrays, dc_arrays, vel_no_arrays, vel_arrays)
+    rows: Dict[str, Tuple[float, float, float, float]]
+
+    def geomeans(self) -> Tuple[float, float, float, float]:
+        return tuple(  # type: ignore[return-value]
+            geomean([v[i] for v in self.rows.values()]) for i in range(4)
+        )
+
+    def render(self) -> str:
+        rows = [
+            [name, *values] for name, values in sorted(self.rows.items())
+        ]
+        rows.append(["geomean", *self.geomeans()])
+        return render_table(
+            ["benchmark", "DC", "DC+arrays", "Velodrome", "Velodrome+arrays"],
+            rows,
+            title=(
+                "Array instrumentation overhead "
+                "(cycle detection off; xalan6/xalan9 excluded)"
+            ),
+        )
+
+
+def arrays(
+    names: Optional[Sequence[str]] = None,
+    *,
+    trials: int = 2,
+    seed_base: int = 80_000,
+    model: Optional[CostModel] = None,
+) -> ArraysResult:
+    """The Section 5.4 array-instrumentation comparison."""
+    model = model or CostModel()
+    selected = [
+        n for n in (names or compute_bound_names()) if n not in ARRAY_EXCLUDED
+    ]
+    rows: Dict[str, Tuple[float, float, float, float]] = {}
+    for name in selected:
+        spec = runner.final_spec(name)
+        seeds = [seed_base + i for i in range(trials)]
+        values = []
+        for instrument in (False, True):
+            dc_runs = []
+            for s in seeds:
+                checker = DoubleChecker(
+                    spec,
+                    instrument_arrays=instrument,
+                    array_granularity_object=True,
+                    cycle_detection=False,
+                )
+                result = checker.run_single(build(name), runner.make_scheduler(s))
+                dc_runs.append(
+                    model.double_checker_single(result).normalized_time
+                )
+            values.append(median(dc_runs))
+        for instrument in (False, True):
+            vel_runs = []
+            for s in seeds:
+                checker = VelodromeChecker(
+                    spec,
+                    instrument_arrays=instrument,
+                    array_granularity_object=True,
+                    cycle_detection=False,
+                )
+                result = checker.run(build(name), runner.make_scheduler(s))
+                vel_runs.append(model.velodrome(result).normalized_time)
+            values.append(median(vel_runs))
+        rows[name] = (values[0], values[1], values[2], values[3])
+    return ArraysResult(rows)
+
+
+# ----------------------------------------------------------------------
+# PCD-only straw man (Section 5.4)
+# ----------------------------------------------------------------------
+@dataclass
+class PcdOnlyResult:
+    #: benchmark -> (single_norm, pcd_only_norm or None if OOM)
+    rows: Dict[str, Tuple[float, Optional[float]]]
+    oom: List[str] = field(default_factory=list)
+
+    def geomeans(self) -> Tuple[float, float]:
+        names = [n for n, v in self.rows.items() if v[1] is not None]
+        if not names:
+            return float("nan"), float("nan")
+        single = geomean([self.rows[n][0] for n in names])
+        pcd = geomean([self.rows[n][1] for n in names])
+        return single, pcd
+
+    def render(self) -> str:
+        rows = []
+        for name, (single, pcd) in sorted(self.rows.items()):
+            rows.append([name, single, pcd if pcd is not None else "OOM"])
+        gs, gp = self.geomeans()
+        rows.append(["geomean(no-OOM)", gs, gp])
+        return render_table(
+            ["benchmark", "Single-run", "PCD-only"],
+            rows,
+            title="PCD-only variant (Section 5.4): ICD as a first-pass filter",
+        )
+
+
+def pcd_only(
+    names: Optional[Sequence[str]] = None,
+    *,
+    trials: int = 1,
+    seed_base: int = 90_000,
+    pcd_memory_budget: int = 9_000,
+    model: Optional[CostModel] = None,
+) -> PcdOnlyResult:
+    """Compare single-run mode with the PCD-only variant."""
+    model = model or CostModel()
+    rows: Dict[str, Tuple[float, Optional[float]]] = {}
+    oom: List[str] = []
+    for name in names or compute_bound_names():
+        spec = runner.final_spec(name)
+        seeds = [seed_base + i for i in range(trials)]
+        single = median(
+            [
+                model.double_checker_single(
+                    runner.run_single(name, spec, s)
+                ).normalized_time
+                for s in seeds
+            ]
+        )
+        pcd_values: List[float] = []
+        failed = False
+        for s in seeds:
+            checker = DoubleChecker(spec, pcd_memory_budget=pcd_memory_budget)
+            try:
+                result = checker.run_pcd_only(
+                    build(name), runner.make_scheduler(s)
+                )
+            except OutOfMemoryBudget:
+                failed = True
+                break
+            pcd_values.append(
+                model.double_checker_single(result).normalized_time
+            )
+        if failed:
+            rows[name] = (single, None)
+            oom.append(name)
+        else:
+            rows[name] = (single, median(pcd_values))
+    return PcdOnlyResult(rows, oom)
+
+
+# ----------------------------------------------------------------------
+# second-run variants (Section 5.3)
+# ----------------------------------------------------------------------
+@dataclass
+class SecondRunVariantsResult:
+    #: benchmark -> (second, second_always_unary, velodrome_second)
+    rows: Dict[str, Tuple[float, float, float]]
+
+    def geomeans(self) -> Tuple[float, float, float]:
+        return tuple(  # type: ignore[return-value]
+            geomean([v[i] for v in self.rows.values()]) for i in range(3)
+        )
+
+    def render(self) -> str:
+        rows = [[name, *values] for name, values in sorted(self.rows.items())]
+        rows.append(["geomean", *self.geomeans()])
+        return render_table(
+            ["benchmark", "second (ICD+PCD)", "always-unary", "Velodrome-second"],
+            rows,
+            title="Second-run variants (Section 5.3)",
+        )
+
+
+def second_run_variants(
+    names: Optional[Sequence[str]] = None,
+    *,
+    trials: int = 2,
+    first_trials: int = 2,
+    seed_base: int = 95_000,
+    model: Optional[CostModel] = None,
+) -> SecondRunVariantsResult:
+    """Evaluate the conditional-unary optimization and Velodrome-as-
+    second-run."""
+    model = model or CostModel()
+    rows: Dict[str, Tuple[float, float, float]] = {}
+    for name in names or compute_bound_names():
+        spec = runner.final_spec(name)
+        info = StaticTransactionInfo.union_all(
+            runner.run_first(name, spec, seed_base + i).static_info
+            for i in range(first_trials)
+        )
+        seeds = [seed_base + 100 + i for i in range(trials)]
+        second = median(
+            [
+                model.double_checker_single(
+                    runner.run_second(name, spec, info, s)
+                ).normalized_time
+                for s in seeds
+            ]
+        )
+        always = median(
+            [
+                model.double_checker_single(
+                    runner.run_second(
+                        name, spec, info, s, always_instrument_unary=True
+                    )
+                ).normalized_time
+                for s in seeds
+            ]
+        )
+        vel_values = []
+        for s in seeds:
+            checker = VelodromeChecker(
+                spec,
+                monitor_regular=info.monitors_method,
+                monitor_unary=info.any_unary,
+            )
+            result = checker.run(build(name), runner.make_scheduler(s))
+            vel_values.append(model.velodrome(result).normalized_time)
+        rows[name] = (second, always, median(vel_values))
+    return SecondRunVariantsResult(rows)

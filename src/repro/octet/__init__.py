@@ -1,0 +1,33 @@
+"""Octet: software concurrency control (Bond et al., OOPSLA 2013).
+
+Octet maintains a *locality state* per object — write-exclusive
+(WrExT), read-exclusive (RdExT), or read-shared (RdShc) — and changes
+states with barriers before every access.  State changes establish
+happens-before relationships that soundly (but imprecisely) imply all
+cross-thread dependences.  DoubleChecker's imprecise analysis (ICD)
+piggybacks on these state transitions.
+
+This package reproduces the mechanism at the fidelity DoubleChecker
+needs: the full Table 1 transition relation, the global read-shared
+counter ``gRdShCnt`` and per-thread ``rdShCnt`` counters, fence
+transitions, intermediate states, and the explicit/implicit
+coordination protocol (chosen by whether the responding thread is
+blocked).
+"""
+
+from repro.octet.runtime import OctetListener, OctetRuntime, OctetStats
+from repro.octet.states import OctetState, StateKind, rd_ex, rd_sh, wr_ex
+from repro.octet.transitions import TransitionKind, classify
+
+__all__ = [
+    "OctetListener",
+    "OctetRuntime",
+    "OctetState",
+    "OctetStats",
+    "StateKind",
+    "TransitionKind",
+    "classify",
+    "rd_ex",
+    "rd_sh",
+    "wr_ex",
+]

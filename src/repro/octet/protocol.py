@@ -1,0 +1,117 @@
+"""The coordination protocol for conflicting transitions.
+
+A conflicting transition involves one *requesting* thread (reqT, the
+thread whose access needs the state change) and one or more
+*responding* threads (respT — the current exclusive owner, or, for
+RdSh→WrEx, every other thread, since readers are not tracked
+individually).  The object first enters an intermediate state so only
+one thread at a time changes its state; then, per responder:
+
+* **explicit protocol** — respT is executing code normally; reqT sends
+  a request and respT responds at its next *safe point* (a point
+  definitely not between a barrier and its access).  The roundtrip
+  establishes happens-before.
+* **implicit protocol** — respT is blocked (lock/wait/join/IO); reqT
+  atomically sets a flag respT will observe on unblocking, placing a
+  "hold" on respT while the requester performs work (ICD's procedure)
+  on respT's behalf.
+
+In the serialized simulator a thread is never *between* a barrier and
+its access when another thread runs, so every scheduler interleaving
+point is a safe point, and explicit-protocol responses happen
+instantly.  What the protocol model preserves — and what ICD consumes —
+is (a) which thread responds, (b) which protocol is used, and (c) which
+thread invokes ICD's edge-creation procedure (respT for explicit, reqT
+under a hold for implicit).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+
+class ProtocolKind(enum.Enum):
+    """Which coordination protocol a responder used."""
+
+    EXPLICIT = "explicit"
+    IMPLICIT = "implicit"
+
+
+@dataclass(frozen=True)
+class ResponderRecord:
+    """One responder's participation in a coordination round."""
+
+    thread_name: str
+    protocol: ProtocolKind
+
+    @property
+    def invoked_by_requester(self) -> bool:
+        """True when reqT invokes ICD's procedure (implicit protocol)."""
+        return self.protocol is ProtocolKind.IMPLICIT
+
+
+@dataclass
+class CoordinationRound:
+    """A complete coordination round for one conflicting transition."""
+
+    requester: str
+    responders: List[ResponderRecord] = field(default_factory=list)
+
+    @property
+    def explicit_count(self) -> int:
+        return sum(
+            1 for r in self.responders if r.protocol is ProtocolKind.EXPLICIT
+        )
+
+    @property
+    def implicit_count(self) -> int:
+        return sum(
+            1 for r in self.responders if r.protocol is ProtocolKind.IMPLICIT
+        )
+
+
+class CoordinationProtocol:
+    """Carries out coordination rounds and tallies protocol statistics.
+
+    Args:
+        is_thread_blocked: predicate telling whether a thread is at a
+            blocking operation (decides explicit vs implicit).  Defaults
+            to "never blocked" for standalone use.
+    """
+
+    def __init__(
+        self, is_thread_blocked: Callable[[str], bool] | None = None
+    ) -> None:
+        self._is_blocked = is_thread_blocked or (lambda _name: False)
+        self.rounds = 0
+        self.explicit_responses = 0
+        self.implicit_responses = 0
+        self.holds_placed = 0
+
+    def coordinate(self, requester: str, responders: List[str]) -> CoordinationRound:
+        """Run one coordination round against ``responders``."""
+        self.rounds += 1
+        round_ = CoordinationRound(requester=requester)
+        for name in responders:
+            if name == requester:
+                continue
+            if self._is_blocked(name):
+                protocol = ProtocolKind.IMPLICIT
+                self.implicit_responses += 1
+                self.holds_placed += 1
+            else:
+                protocol = ProtocolKind.EXPLICIT
+                self.explicit_responses += 1
+            round_.responders.append(ResponderRecord(name, protocol))
+        return round_
+
+    def stats(self) -> Dict[str, int]:
+        """Protocol statistics for cost accounting."""
+        return {
+            "rounds": self.rounds,
+            "explicit_responses": self.explicit_responses,
+            "implicit_responses": self.implicit_responses,
+            "holds_placed": self.holds_placed,
+        }

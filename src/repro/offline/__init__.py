@@ -1,0 +1,5 @@
+"""Offline conflict-serializability checking (the §6 comparator)."""
+
+from repro.offline.checker import OfflineChecker, OfflineResult
+
+__all__ = ["OfflineChecker", "OfflineResult"]

@@ -1,0 +1,59 @@
+"""Vector clocks (Lamport/Mattern), the textbook happens-before device."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+
+class VectorClock:
+    """An immutable-by-convention vector clock.
+
+    Components default to zero; mutating operations return ``self`` for
+    chaining but callers that need a snapshot must :meth:`copy` first.
+    """
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, clock: Optional[Dict[str, int]] = None) -> None:
+        self._clock: Dict[str, int] = dict(clock or {})
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._clock)
+
+    def get(self, thread: str) -> int:
+        return self._clock.get(thread, 0)
+
+    def tick(self, thread: str) -> "VectorClock":
+        """Advance ``thread``'s component (a local step)."""
+        self._clock[thread] = self._clock.get(thread, 0) + 1
+        return self
+
+    def join(self, other: "VectorClock") -> "VectorClock":
+        """Pointwise maximum (receiving a happens-before edge)."""
+        for thread, value in other._clock.items():
+            if value > self._clock.get(thread, 0):
+                self._clock[thread] = value
+        return self
+
+    def leq(self, other: "VectorClock") -> bool:
+        """Pointwise ≤: does this clock happen-before-or-equal other?"""
+        return all(
+            value <= other._clock.get(thread, 0)
+            for thread, value in self._clock.items()
+        )
+
+    def threads(self) -> Iterable[str]:
+        return self._clock.keys()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{t}:{v}" for t, v in sorted(self._clock.items()))
+        return f"<VC {inner}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        keys = set(self._clock) | set(other._clock)
+        return all(self.get(k) == other.get(k) for k in keys)
+
+    def __hash__(self) -> int:  # clocks are not meant to be dict keys
+        raise TypeError("VectorClock is unhashable")

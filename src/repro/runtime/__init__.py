@@ -1,0 +1,75 @@
+"""Deterministic multithreaded-program interpreter.
+
+This package is the substrate that replaces Jikes RVM in the paper's
+setting.  Simulated programs are written as Python generator functions
+that yield :mod:`repro.runtime.ops` operations; the
+:class:`~repro.runtime.executor.Executor` interleaves the program's
+threads one operation at a time under a pluggable, seeded
+:mod:`~repro.runtime.scheduler`, applies the operation's semantics
+(heap mutation, lock acquisition, thread lifecycle), and dispatches
+events to attached :class:`~repro.runtime.listeners.ExecutionListener`
+instances.  The dynamic analyses (Octet/ICD/PCD, Velodrome) attach as
+listeners, exactly the way their JVM counterparts attach as compiler-
+inserted barriers.
+"""
+
+from repro.runtime.events import AccessEvent, AccessKind, Site
+from repro.runtime.executor import ExecutionResult, Executor
+from repro.runtime.heap import Heap, SharedArray, SharedObject
+from repro.runtime.listeners import ExecutionListener
+from repro.runtime.ops import (
+    Acquire,
+    ArrayRead,
+    ArrayWrite,
+    Compute,
+    Fork,
+    Invoke,
+    Join,
+    New,
+    NewArray,
+    Notify,
+    Read,
+    Release,
+    Wait,
+    Write,
+)
+from repro.runtime.program import MethodDef, Program, ThreadSpec
+from repro.runtime.scheduler import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    ScriptedScheduler,
+)
+
+__all__ = [
+    "AccessEvent",
+    "AccessKind",
+    "Acquire",
+    "ArrayRead",
+    "ArrayWrite",
+    "Compute",
+    "ExecutionListener",
+    "ExecutionResult",
+    "Executor",
+    "Fork",
+    "Heap",
+    "Invoke",
+    "Join",
+    "MethodDef",
+    "New",
+    "NewArray",
+    "Notify",
+    "Program",
+    "RandomScheduler",
+    "Read",
+    "Release",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "ScriptedScheduler",
+    "SharedArray",
+    "SharedObject",
+    "Site",
+    "ThreadSpec",
+    "Wait",
+    "Write",
+]

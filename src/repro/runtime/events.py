@@ -1,0 +1,124 @@
+"""Events the executor dispatches to attached analyses.
+
+The central event is :class:`AccessEvent`.  Following the paper
+(Section 3.2.2, "Handling synchronization operations"), synchronization
+operations are presented to the checkers as accesses: acquire-like
+operations (lock acquire, monitor re-entry after ``wait``, the child
+side of ``fork``, the parent side of ``join``) are **reads** of the
+object being synchronized on, and release-like operations (lock
+release, ``wait``'s release, the parent side of ``fork``, thread
+termination observed by ``join``) are **writes**.  The ``is_sync`` flag
+distinguishes them where a client cares (e.g., Table 3 counts program
+accesses, not synthesized synchronization accesses).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+
+class AccessKind(enum.Enum):
+    """Whether an access reads or writes shared state."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Site:
+    """A static program location: method name plus operation ordinal.
+
+    Sites identify *static* transactions (multi-run mode communicates
+    method start locations between runs) and static violation reports
+    (Table 2 counts methods blamed at least once).
+    """
+
+    method: str
+    index: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.method}@{self.index}"
+
+
+# Pseudo-field names used when synchronization is modelled as an access.
+LOCK_FIELD = "<monitor>"
+THREAD_FIELD = "<thread>"
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One dynamic shared-memory access (or synchronization pseudo-access).
+
+    Attributes:
+        seq: global sequence number assigned by the executor; used only
+            by test oracles and never consulted by the checkers (the
+            paper's analyses cannot observe a global order either).
+        thread_name: the accessing thread.
+        obj: the :class:`~repro.runtime.heap.SharedObject` or
+            :class:`~repro.runtime.heap.SharedArray` accessed.
+        fieldname: field name, ``<monitor>``/``<thread>`` for sync
+            pseudo-accesses, or ``[i]`` strings for array elements when
+            element granularity is in effect.
+        kind: read or write.
+        is_sync: true for synchronization pseudo-accesses.
+        is_array: true for array element accesses.
+        site: static location of the access.
+    """
+
+    seq: int
+    thread_name: str
+    obj: Any
+    fieldname: str
+    kind: AccessKind
+    is_sync: bool
+    is_array: bool
+    site: Site
+
+    @property
+    def address(self) -> Tuple[int, str]:
+        """Field-granularity address: (object id, field name)."""
+        return (self.obj.oid, self.fieldname)
+
+    @property
+    def object_address(self) -> Tuple[int, str]:
+        """Object-granularity address, conflating all fields.
+
+        Used by the array-instrumentation experiment, which conflates
+        all elements of an array by using array-level metadata.
+        """
+        return (self.obj.oid, "*")
+
+    def is_read(self) -> bool:
+        return self.kind is AccessKind.READ
+
+    def is_write(self) -> bool:
+        return self.kind is AccessKind.WRITE
+
+
+@dataclass(frozen=True)
+class MethodEvent:
+    """Method entry or exit on a thread."""
+
+    thread_name: str
+    method: str
+    depth: int
+
+
+@dataclass(frozen=True)
+class ThreadEvent:
+    """Thread start or termination."""
+
+    thread_name: str
+
+
+__all__ = [
+    "AccessEvent",
+    "AccessKind",
+    "LOCK_FIELD",
+    "MethodEvent",
+    "Site",
+    "THREAD_FIELD",
+    "ThreadEvent",
+]

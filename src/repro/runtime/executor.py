@@ -1,0 +1,441 @@
+"""The execution engine: interprets simulated programs step by step.
+
+Each scheduler step advances one thread by one operation.  Before every
+shared-memory access (and every synchronization pseudo-access) the
+executor invokes the attached listeners' :meth:`on_access` barrier, the
+analogue of the compiler-inserted barriers in the paper's Jikes RVM
+implementation.
+
+The executor itself knows nothing about transactions, Octet states, or
+dependence graphs — those all live in listeners — which keeps the
+substrate reusable for every checker configuration the evaluation
+needs (Velodrome, single-run, first run, second run, PCD-only, ...).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import DeadlockError, ProgramError, StepLimitExceeded
+from repro.runtime import ops
+from repro.runtime.events import (
+    LOCK_FIELD,
+    THREAD_FIELD,
+    AccessEvent,
+    AccessKind,
+    Site,
+)
+from repro.runtime.heap import SharedArray, SharedObject
+from repro.runtime.listeners import ExecutionListener, ListenerPipeline
+from repro.runtime.program import Program
+from repro.runtime.scheduler import RoundRobinScheduler, Scheduler
+from repro.runtime.sync import LockTable
+from repro.runtime.threads import ThreadState, VThread
+
+#: default safety valve against runaway or livelocked programs
+DEFAULT_STEP_LIMIT = 5_000_000
+
+
+@dataclass
+class ExecutionResult:
+    """Summary of one completed execution."""
+
+    steps: int
+    access_count: int
+    sync_access_count: int
+    per_thread_ops: Dict[str, int]
+    elapsed_seconds: float
+    thread_names: List[str] = field(default_factory=list)
+
+    @property
+    def program_access_count(self) -> int:
+        """Accesses to program data (excludes synchronization accesses)."""
+        return self.access_count - self.sync_access_count
+
+
+@dataclass
+class _PendingAcquire:
+    obj: SharedObject
+    depth: int
+    after_wait: bool
+
+
+@dataclass
+class _PendingJoin:
+    target: str
+
+
+class Executor:
+    """Interprets a :class:`~repro.runtime.program.Program`.
+
+    Args:
+        program: the program to run.
+        scheduler: interleaving policy; defaults to round-robin.
+        listeners: analyses to attach (barrier order = list order).
+        step_limit: abort threshold for runaway executions.
+        sync_as_accesses: when true (the default, matching the paper),
+            synchronization operations are also presented to listeners
+            as reads/writes of the object being synchronized on.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        scheduler: Optional[Scheduler] = None,
+        listeners: Iterable[ExecutionListener] = (),
+        step_limit: int = DEFAULT_STEP_LIMIT,
+        sync_as_accesses: bool = True,
+    ) -> None:
+        program.validate()
+        self.program = program
+        self.scheduler = scheduler or RoundRobinScheduler()
+        self.pipeline = ListenerPipeline(listeners)
+        self.step_limit = step_limit
+        self.sync_as_accesses = sync_as_accesses
+
+        self.heap = program.heap
+        self.locks = LockTable()
+        self.threads: Dict[str, VThread] = {}
+        self._next_tid = 1
+        self._seq = 0
+        self._steps = 0
+        self._access_count = 0
+        self._sync_access_count = 0
+        self._context = program.make_context()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self) -> ExecutionResult:
+        """Execute the program to completion and return a summary."""
+        self.scheduler.reset()
+        started = time.perf_counter()
+        for spec in self.program.threads:
+            self._spawn(spec.name, spec.method, spec.args)
+
+        while True:
+            live = [t for t in self.threads.values() if t.is_live()]
+            if not live:
+                break
+            runnable = sorted(t.name for t in live if t.is_runnable())
+            if not runnable:
+                blocked = {t.name: t.state.value for t in live}
+                raise DeadlockError(blocked)
+            chosen = self.scheduler.choose(runnable, self._steps)
+            if chosen not in runnable:
+                raise ProgramError(
+                    f"scheduler chose non-runnable thread {chosen!r}"
+                )
+            self._steps += 1
+            if self._steps > self.step_limit:
+                raise StepLimitExceeded(self.step_limit)
+            self._step(self.threads[chosen])
+
+        self.pipeline.on_execution_end()
+        elapsed = time.perf_counter() - started
+        return ExecutionResult(
+            steps=self._steps,
+            access_count=self._access_count,
+            sync_access_count=self._sync_access_count,
+            per_thread_ops={name: t.tid for name, t in self.threads.items()},
+            elapsed_seconds=elapsed,
+            thread_names=sorted(self.threads),
+        )
+
+    # ------------------------------------------------------------------
+    # thread lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, name: str, method: str, args: Tuple[Any, ...]) -> VThread:
+        if name in self.threads:
+            raise ProgramError(f"duplicate thread name: {name!r}")
+        thread_obj = self.heap.alloc(f"<thread:{name}>")
+        thread = VThread(name, self._next_tid, thread_obj)
+        self._next_tid += 1
+        self.threads[name] = thread
+        self._push_call(thread, method, args)
+        return thread
+
+    def _push_call(self, thread: VThread, method: str, args: Tuple[Any, ...]) -> None:
+        definition = self.program.lookup(method)
+        result = definition.body(self._context, *args)
+        if hasattr(result, "send"):
+            gen: Generator[Any, Any, Any] = result
+        else:
+            # a plain function body: model it as a generator that
+            # immediately returns its value
+            def _wrap(value: Any) -> Generator[Any, Any, Any]:
+                return value
+                yield  # pragma: no cover - makes _wrap a generator fn
+
+            gen = _wrap(result)
+        self.pipeline.on_method_enter(thread.name, method, thread.call_depth() + 1)
+        thread.push_frame(method, gen)
+
+    def _finish_thread(self, thread: VThread) -> None:
+        thread.state = ThreadState.FINISHED
+        # thread termination happens-before join() return: model it as a
+        # release-like write of the thread object
+        self._emit_sync_access(
+            thread, thread.thread_obj, THREAD_FIELD, AccessKind.WRITE,
+            Site("<thread-end>"),
+        )
+        self.pipeline.on_thread_end(thread.name)
+        # wake joiners
+        for other in self.threads.values():
+            if other.state is ThreadState.BLOCKED_JOIN and other.joining == thread.name:
+                other.state = ThreadState.RUNNABLE
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def _step(self, thread: VThread) -> None:
+        if not thread.started:
+            thread.started = True
+            self.pipeline.on_thread_start(thread.name)
+            # Thread.start() happens-before the first action of the
+            # thread: model the child side as an acquire-like read
+            self._emit_sync_access(
+                thread, thread.thread_obj, THREAD_FIELD, AccessKind.READ,
+                Site("<thread-start>"),
+            )
+            return
+        if thread.compute_remaining > 0:
+            thread.compute_remaining -= 1
+            return
+        if thread.pending_value.__class__ in (_PendingAcquire, _PendingJoin):
+            self._retry_pending(thread)
+            return
+        self._advance(thread)
+
+    def _advance(self, thread: VThread) -> None:
+        _method, gen = thread.frames[-1]
+        value, thread.pending_value = thread.pending_value, None
+        try:
+            op = gen.send(value)
+        except StopIteration as stop:
+            self._return_from_frame(thread, stop.value)
+            return
+        self._dispatch(thread, op)
+
+    def _return_from_frame(self, thread: VThread, value: Any) -> None:
+        method = thread.pop_frame()
+        self.pipeline.on_method_exit(thread.name, method, thread.call_depth() + 1)
+        if thread.frames:
+            thread.pending_value = value
+        else:
+            self._finish_thread(thread)
+
+    # ------------------------------------------------------------------
+    # operation dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, thread: VThread, op: Any) -> None:
+        handler = self._HANDLERS.get(op.__class__)
+        if handler is None:
+            raise ProgramError(
+                f"thread {thread.name!r} yielded a non-operation: {op!r}"
+            )
+        handler(self, thread, op)
+
+    def _site(self, thread: VThread) -> Site:
+        return Site(thread.current_method(), thread.next_op_index())
+
+    def _emit_access(
+        self,
+        thread: VThread,
+        obj: Any,
+        fieldname: str,
+        kind: AccessKind,
+        site: Site,
+        is_sync: bool = False,
+        is_array: bool = False,
+    ) -> None:
+        self._seq += 1
+        self._access_count += 1
+        if is_sync:
+            self._sync_access_count += 1
+        event = AccessEvent(
+            seq=self._seq,
+            thread_name=thread.name,
+            obj=obj,
+            fieldname=fieldname,
+            kind=kind,
+            is_sync=is_sync,
+            is_array=is_array,
+            site=site,
+        )
+        self.pipeline.on_access(event)
+
+    def _emit_sync_access(
+        self, thread: VThread, obj: Any, fieldname: str, kind: AccessKind, site: Site
+    ) -> None:
+        if self.sync_as_accesses:
+            self._emit_access(thread, obj, fieldname, kind, site, is_sync=True)
+
+    # --- memory ---------------------------------------------------------
+    def _do_read(self, thread: VThread, op: ops.Read) -> None:
+        site = self._site(thread)
+        self._emit_access(thread, op.obj, op.fieldname, AccessKind.READ, site)
+        thread.pending_value = self.heap.read_field(op.obj, op.fieldname)
+
+    def _do_write(self, thread: VThread, op: ops.Write) -> None:
+        site = self._site(thread)
+        self._emit_access(thread, op.obj, op.fieldname, AccessKind.WRITE, site)
+        self.heap.write_field(op.obj, op.fieldname, op.value)
+
+    def _do_array_read(self, thread: VThread, op: ops.ArrayRead) -> None:
+        site = self._site(thread)
+        self._emit_access(
+            thread, op.array, f"[{op.index}]", AccessKind.READ, site, is_array=True
+        )
+        thread.pending_value = self.heap.read_element(op.array, op.index)
+
+    def _do_array_write(self, thread: VThread, op: ops.ArrayWrite) -> None:
+        site = self._site(thread)
+        self._emit_access(
+            thread, op.array, f"[{op.index}]", AccessKind.WRITE, site, is_array=True
+        )
+        self.heap.write_element(op.array, op.index, op.value)
+
+    def _do_new(self, thread: VThread, op: ops.New) -> None:
+        thread.next_op_index()
+        thread.pending_value = self.heap.alloc(op.label)
+
+    def _do_new_array(self, thread: VThread, op: ops.NewArray) -> None:
+        thread.next_op_index()
+        thread.pending_value = self.heap.alloc_array(op.label, op.length, op.fill)
+
+    # --- synchronization --------------------------------------------------
+    def _do_acquire(self, thread: VThread, op: ops.Acquire) -> None:
+        site = self._site(thread)
+        if self.locks.try_acquire(thread.name, op.obj):
+            self._emit_sync_access(thread, op.obj, LOCK_FIELD, AccessKind.READ, site)
+        else:
+            thread.state = ThreadState.BLOCKED_LOCK
+            thread.blocked_on = op.obj
+            thread.pending_value = _PendingAcquire(op.obj, 1, after_wait=False)
+
+    def _do_release(self, thread: VThread, op: ops.Release) -> None:
+        site = self._site(thread)
+        self._emit_sync_access(thread, op.obj, LOCK_FIELD, AccessKind.WRITE, site)
+        freed = self.locks.release(thread.name, op.obj)
+        if freed:
+            self._wake_lock_blocked(op.obj)
+
+    def _do_wait(self, thread: VThread, op: ops.Wait) -> None:
+        site = self._site(thread)
+        self.locks.require_owner(thread.name, op.obj, "wait")
+        self._emit_sync_access(thread, op.obj, LOCK_FIELD, AccessKind.WRITE, site)
+        depth = self.locks.release_fully(thread.name, op.obj)
+        self.locks.add_waiter(thread.name, op.obj)
+        thread.state = ThreadState.WAITING
+        thread.blocked_on = op.obj
+        thread.pending_value = _PendingAcquire(op.obj, depth, after_wait=True)
+        self._wake_lock_blocked(op.obj)
+
+    def _do_notify(self, thread: VThread, op: ops.Notify) -> None:
+        site = self._site(thread)
+        self.locks.require_owner(thread.name, op.obj, "notify")
+        self._emit_sync_access(thread, op.obj, LOCK_FIELD, AccessKind.WRITE, site)
+        for name in self.locks.notify(op.obj, op.wake_all):
+            waiter = self.threads[name]
+            # notified threads compete for the monitor once it is free
+            waiter.state = ThreadState.BLOCKED_LOCK
+
+    def _wake_lock_blocked(self, obj: SharedObject) -> None:
+        for other in self.threads.values():
+            if (
+                other.state is ThreadState.BLOCKED_LOCK
+                and other.blocked_on is obj
+            ):
+                other.state = ThreadState.RUNNABLE
+
+    # --- structure & threads ----------------------------------------------
+    def _do_invoke(self, thread: VThread, op: ops.Invoke) -> None:
+        thread.next_op_index()
+        self._push_call(thread, op.method, op.args)
+
+    def _do_fork(self, thread: VThread, op: ops.Fork) -> None:
+        site = self._site(thread)
+        child = self._spawn(op.thread_name, op.method, op.args)
+        # Thread.start(): release-like write on the child's thread object
+        self._emit_sync_access(
+            thread, child.thread_obj, THREAD_FIELD, AccessKind.WRITE, site
+        )
+        thread.pending_value = op.thread_name
+
+    def _do_join(self, thread: VThread, op: ops.Join) -> None:
+        target = self.threads.get(op.thread_name)
+        if target is None:
+            raise ProgramError(
+                f"thread {thread.name!r} joined unknown thread {op.thread_name!r}"
+            )
+        site = self._site(thread)
+        if target.state is ThreadState.FINISHED:
+            self._emit_sync_access(
+                thread, target.thread_obj, THREAD_FIELD, AccessKind.READ, site
+            )
+        else:
+            thread.state = ThreadState.BLOCKED_JOIN
+            thread.joining = op.thread_name
+            thread.pending_value = _PendingJoin(op.thread_name)
+
+    def _do_compute(self, thread: VThread, op: ops.Compute) -> None:
+        thread.next_op_index()
+        thread.compute_remaining = max(0, op.cost - 1)
+
+    # --- pending retries -----------------------------------------------
+    def _retry_pending(self, thread: VThread) -> None:
+        pending = thread.pending_value
+        if isinstance(pending, _PendingAcquire):
+            if self.locks.try_acquire(thread.name, pending.obj, pending.depth):
+                thread.pending_value = None
+                thread.blocked_on = None
+                site = Site(thread.current_method(), -1)
+                self._emit_sync_access(
+                    thread, pending.obj, LOCK_FIELD, AccessKind.READ, site
+                )
+            else:
+                thread.state = ThreadState.BLOCKED_LOCK
+            return
+        if isinstance(pending, _PendingJoin):
+            target = self.threads[pending.target]
+            if target.state is ThreadState.FINISHED:
+                thread.pending_value = None
+                thread.joining = None
+                site = Site(thread.current_method(), -1)
+                self._emit_sync_access(
+                    thread, target.thread_obj, THREAD_FIELD, AccessKind.READ, site
+                )
+            else:
+                thread.state = ThreadState.BLOCKED_JOIN
+            return
+        raise ProgramError(f"unknown pending operation: {pending!r}")
+
+    _HANDLERS = {
+        ops.Read: _do_read,
+        ops.Write: _do_write,
+        ops.ArrayRead: _do_array_read,
+        ops.ArrayWrite: _do_array_write,
+        ops.New: _do_new,
+        ops.NewArray: _do_new_array,
+        ops.Acquire: _do_acquire,
+        ops.Release: _do_release,
+        ops.Wait: _do_wait,
+        ops.Notify: _do_notify,
+        ops.Invoke: _do_invoke,
+        ops.Fork: _do_fork,
+        ops.Join: _do_join,
+        ops.Compute: _do_compute,
+    }
+
+
+def run_program(
+    program: Program,
+    scheduler: Optional[Scheduler] = None,
+    listeners: Iterable[ExecutionListener] = (),
+    step_limit: int = DEFAULT_STEP_LIMIT,
+) -> ExecutionResult:
+    """Convenience wrapper: build an :class:`Executor` and run it."""
+    return Executor(program, scheduler, listeners, step_limit).run()

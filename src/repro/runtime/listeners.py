@@ -1,0 +1,78 @@
+"""Listener interface connecting analyses to the executor.
+
+Listeners play the role the paper's compiler-inserted instrumentation
+plays in Jikes RVM: :meth:`ExecutionListener.on_access` is the barrier
+invoked before each program access (and each synchronization
+pseudo-access), and the method/thread lifecycle hooks drive transaction
+demarcation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.runtime.events import AccessEvent
+
+
+class ExecutionListener:
+    """Callbacks dispatched by the executor; override what you need."""
+
+    def on_thread_start(self, thread_name: str) -> None:
+        """A thread began executing (before its first operation)."""
+
+    def on_thread_end(self, thread_name: str) -> None:
+        """A thread finished (after its last operation)."""
+
+    def on_method_enter(self, thread_name: str, method: str, depth: int) -> None:
+        """A method was entered on ``thread_name`` at call ``depth``."""
+
+    def on_method_exit(self, thread_name: str, method: str, depth: int) -> None:
+        """A method returned on ``thread_name``."""
+
+    def on_access(self, event: AccessEvent) -> None:
+        """Barrier: invoked immediately before the access takes effect."""
+
+    def on_execution_end(self) -> None:
+        """The whole program finished; flush any pending analysis work."""
+
+
+class ListenerPipeline(ExecutionListener):
+    """Dispatch events to an ordered list of listeners.
+
+    Order matters exactly as barrier order matters in the paper: ICD's
+    logging instrumentation runs *after* Octet's barrier, which the
+    pipeline realizes by registering Octet before ICD's logger.
+    """
+
+    def __init__(self, listeners: Iterable[ExecutionListener] = ()) -> None:
+        self.listeners: List[ExecutionListener] = list(listeners)
+
+    def add(self, listener: ExecutionListener) -> None:
+        self.listeners.append(listener)
+
+    def on_thread_start(self, thread_name: str) -> None:
+        for listener in self.listeners:
+            listener.on_thread_start(thread_name)
+
+    def on_thread_end(self, thread_name: str) -> None:
+        for listener in self.listeners:
+            listener.on_thread_end(thread_name)
+
+    def on_method_enter(self, thread_name: str, method: str, depth: int) -> None:
+        for listener in self.listeners:
+            listener.on_method_enter(thread_name, method, depth)
+
+    def on_method_exit(self, thread_name: str, method: str, depth: int) -> None:
+        for listener in self.listeners:
+            listener.on_method_exit(thread_name, method, depth)
+
+    def on_access(self, event: AccessEvent) -> None:
+        for listener in self.listeners:
+            listener.on_access(event)
+
+    def on_execution_end(self) -> None:
+        for listener in self.listeners:
+            listener.on_execution_end()
+
+
+__all__ = ["ExecutionListener", "ListenerPipeline"]

@@ -1,0 +1,167 @@
+"""Operation vocabulary for simulated multithreaded programs.
+
+A simulated method body is a Python generator that yields operation
+objects.  The executor interprets one yielded operation per scheduler
+step and sends the operation's result (if any) back into the generator,
+so bodies can be data dependent::
+
+    def increment(ctx):
+        value = yield Read(ctx.counter, "value")
+        yield Write(ctx.counter, "value", value + 1)
+
+Operations fall into four groups:
+
+* **memory** — :class:`Read`, :class:`Write`, :class:`ArrayRead`,
+  :class:`ArrayWrite`, :class:`New`, :class:`NewArray`;
+* **synchronization** — :class:`Acquire`, :class:`Release`,
+  :class:`Wait`, :class:`Notify`;
+* **thread lifecycle** — :class:`Fork`, :class:`Join`;
+* **structure** — :class:`Invoke` (method call; transactions are
+  demarcated at method granularity) and :class:`Compute` (thread-local
+  work with no shared access, useful for spacing interleavings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+
+@dataclass(frozen=True)
+class Read:
+    """Read ``obj.field``; the executor sends back the current value."""
+
+    obj: Any
+    fieldname: str
+
+
+@dataclass(frozen=True)
+class Write:
+    """Write ``value`` to ``obj.field``."""
+
+    obj: Any
+    fieldname: str
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class ArrayRead:
+    """Read ``array[index]``; the executor sends back the element."""
+
+    array: Any
+    index: int
+
+
+@dataclass(frozen=True)
+class ArrayWrite:
+    """Write ``value`` to ``array[index]``."""
+
+    array: Any
+    index: int
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class New:
+    """Allocate a fresh shared object; the executor sends back the object."""
+
+    label: str = "obj"
+
+
+@dataclass(frozen=True)
+class NewArray:
+    """Allocate a fresh shared array of ``length`` elements."""
+
+    label: str = "array"
+    length: int = 0
+    fill: Any = 0
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """Acquire the monitor of ``obj`` (reentrant); blocks if held elsewhere."""
+
+    obj: Any
+
+
+@dataclass(frozen=True)
+class Release:
+    """Release the monitor of ``obj``; errors if the thread does not own it."""
+
+    obj: Any
+
+
+@dataclass(frozen=True)
+class Wait:
+    """``obj.wait()``: release the monitor and sleep until notified."""
+
+    obj: Any
+
+
+@dataclass(frozen=True)
+class Notify:
+    """``obj.notify()`` / ``obj.notifyAll()`` depending on ``wake_all``."""
+
+    obj: Any
+    wake_all: bool = False
+
+
+@dataclass(frozen=True)
+class Invoke:
+    """Call method ``method`` with ``args``; sends back the return value.
+
+    Method calls matter to the checkers: an atomic method invoked from a
+    non-transactional context starts a regular transaction.
+    """
+
+    method: str
+    args: Tuple[Any, ...] = field(default=())
+
+
+@dataclass(frozen=True)
+class Fork:
+    """Start a new thread running ``method``.
+
+    The parent performs a release-like synchronization on the new
+    thread's thread object and the child performs a matching
+    acquire-like one before its first operation, mirroring the
+    happens-before semantics of ``Thread.start()``.
+    """
+
+    thread_name: str
+    method: str
+    args: Tuple[Any, ...] = field(default=())
+
+
+@dataclass(frozen=True)
+class Join:
+    """Block until the named thread finishes (``Thread.join()``)."""
+
+    thread_name: str
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Thread-local computation; consumes ``cost`` scheduler steps."""
+
+    cost: int = 1
+
+
+MemoryOp = (Read, Write, ArrayRead, ArrayWrite)
+SyncOp = (Acquire, Release, Wait, Notify)
+Operation = (
+    Read,
+    Write,
+    ArrayRead,
+    ArrayWrite,
+    New,
+    NewArray,
+    Acquire,
+    Release,
+    Wait,
+    Notify,
+    Invoke,
+    Fork,
+    Join,
+    Compute,
+)

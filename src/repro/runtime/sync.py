@@ -1,0 +1,111 @@
+"""Monitor (lock) table with wait sets.
+
+Monitors are reentrant, as in Java.  Threads blocked on a monitor are
+woken (made runnable) when it is released and race to re-acquire it
+when next scheduled, which models real contention: a woken thread can
+lose the monitor to a third thread and re-block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.errors import ProgramError
+from repro.runtime.heap import SharedObject
+
+
+@dataclass
+class MonitorState:
+    """Run-time state of one object's monitor."""
+
+    owner: Optional[str] = None
+    depth: int = 0
+    wait_set: Set[str] = field(default_factory=set)
+
+
+class LockTable:
+    """Tracks monitor ownership and wait sets for all objects."""
+
+    def __init__(self) -> None:
+        self._monitors: Dict[int, MonitorState] = {}
+
+    def _monitor(self, obj: SharedObject) -> MonitorState:
+        state = self._monitors.get(obj.oid)
+        if state is None:
+            state = MonitorState()
+            self._monitors[obj.oid] = state
+        return state
+
+    # ------------------------------------------------------------------
+    def try_acquire(self, thread_name: str, obj: SharedObject, depth: int = 1) -> bool:
+        """Attempt to acquire; returns True on success.
+
+        ``depth`` > 1 restores a saved re-entry depth after ``wait``.
+        """
+        state = self._monitor(obj)
+        if state.owner is None:
+            state.owner = thread_name
+            state.depth = depth
+            return True
+        if state.owner == thread_name:
+            state.depth += depth
+            return True
+        return False
+
+    def release(self, thread_name: str, obj: SharedObject) -> bool:
+        """Release one level of re-entry; returns True when fully freed."""
+        state = self._monitor(obj)
+        if state.owner != thread_name:
+            raise ProgramError(
+                f"thread {thread_name!r} released monitor of {obj.label!r} "
+                f"owned by {state.owner!r}"
+            )
+        state.depth -= 1
+        if state.depth == 0:
+            state.owner = None
+            return True
+        return False
+
+    def release_fully(self, thread_name: str, obj: SharedObject) -> int:
+        """Release all re-entry levels (for ``wait``); returns the depth."""
+        state = self._monitor(obj)
+        if state.owner != thread_name:
+            raise ProgramError(
+                f"thread {thread_name!r} waited on monitor of {obj.label!r} "
+                f"owned by {state.owner!r}"
+            )
+        depth = state.depth
+        state.owner = None
+        state.depth = 0
+        return depth
+
+    def owner_of(self, obj: SharedObject) -> Optional[str]:
+        state = self._monitors.get(obj.oid)
+        return state.owner if state else None
+
+    def require_owner(self, thread_name: str, obj: SharedObject, action: str) -> None:
+        """Raise unless ``thread_name`` owns the monitor (for wait/notify)."""
+        if self.owner_of(obj) != thread_name:
+            raise ProgramError(
+                f"thread {thread_name!r} called {action} on {obj.label!r} "
+                f"without owning its monitor"
+            )
+
+    # ------------------------------------------------------------------
+    def add_waiter(self, thread_name: str, obj: SharedObject) -> None:
+        self._monitor(obj).wait_set.add(thread_name)
+
+    def notify(self, obj: SharedObject, wake_all: bool) -> List[str]:
+        """Remove and return notified threads (deterministic order)."""
+        state = self._monitor(obj)
+        if not state.wait_set:
+            return []
+        ordered = sorted(state.wait_set)
+        woken = ordered if wake_all else ordered[:1]
+        for name in woken:
+            state.wait_set.discard(name)
+        return woken
+
+    def waiters(self, obj: SharedObject) -> List[str]:
+        return sorted(self._monitor(obj).wait_set)

@@ -1,0 +1,10 @@
+"""Atomicity specifications and their iterative refinement."""
+
+from repro.spec.specification import AtomicitySpecification
+from repro.spec.refinement import RefinementResult, iterative_refinement
+
+__all__ = [
+    "AtomicitySpecification",
+    "RefinementResult",
+    "iterative_refinement",
+]

@@ -1,0 +1,114 @@
+"""Iterative refinement of atomicity specifications (Figure 6).
+
+Start from the strictest specification (all methods atomic except
+entry points and interrupting methods).  Repeatedly run the checker;
+whenever blame assignment reports methods as non-atomic, remove them
+from the specification and re-run.  Terminate when a full step of
+trials reports no new violations — approximating well-tested software,
+which has an accurate atomicity specification and few, if any, known
+violations (Section 5.1).
+
+The refinement loop is checker-agnostic: callers supply a *runner*
+``runner(spec, trial_index) -> set of blamed methods``.  The harness
+builds runners for Velodrome, single-run mode, and multi-run mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Set
+
+from repro.spec.specification import AtomicitySpecification
+
+Runner = Callable[[AtomicitySpecification, int], Set[str]]
+
+
+@dataclass
+class RefinementStep:
+    """One refinement step: the trials run and the new blames found."""
+
+    step_index: int
+    trials: int
+    newly_blamed: Set[str]
+    spec_size_before: int
+
+
+@dataclass
+class RefinementResult:
+    """The full refinement trajectory.
+
+    ``all_blamed`` is what Table 2 counts: every method blamed at least
+    once during refinement.  ``intermediate_specs`` snapshots the
+    specification after each step, which the Section 5.4 experiment
+    (performance at the start/halfway/end of refinement) replays.
+    """
+
+    initial_spec: AtomicitySpecification
+    final_spec: AtomicitySpecification
+    steps: List[RefinementStep] = field(default_factory=list)
+    all_blamed: Set[str] = field(default_factory=set)
+    intermediate_specs: List[AtomicitySpecification] = field(default_factory=list)
+    converged: bool = True
+
+    def violation_count(self) -> int:
+        """Static violations found over the whole refinement."""
+        return len(self.all_blamed)
+
+    def spec_at_fraction(self, fraction: float) -> AtomicitySpecification:
+        """Specification after ``fraction`` of the blamed methods have
+        been removed (0.0 = strictest, 1.0 = final)."""
+        if not self.all_blamed or fraction <= 0.0:
+            return self.initial_spec
+        if fraction >= 1.0:
+            return self.final_spec
+        target = int(len(self.all_blamed) * fraction)
+        removed: List[str] = []
+        for step in self.steps:
+            removed.extend(sorted(step.newly_blamed))
+        return self.initial_spec.exclude(removed[:target])
+
+
+def iterative_refinement(
+    initial_spec: AtomicitySpecification,
+    runner: Runner,
+    *,
+    trials_per_step: int = 10,
+    max_steps: int = 64,
+) -> RefinementResult:
+    """Run iterative refinement to convergence.
+
+    Args:
+        initial_spec: usually :meth:`AtomicitySpecification.initial`.
+        runner: executes one checking trial under a given specification
+            and returns the methods blamed in that trial.  The trial
+            index increases monotonically across steps, so seeded
+            schedulers give run-to-run nondeterminism.
+        trials_per_step: trials per refinement step; a step with no new
+            blames across all its trials terminates refinement.
+        max_steps: safety valve; refinement that does not converge
+            returns ``converged=False``.
+    """
+    spec = initial_spec
+    result = RefinementResult(initial_spec=initial_spec, final_spec=initial_spec)
+    trial_index = 0
+
+    for step_index in range(max_steps):
+        blamed_this_step: Set[str] = set()
+        for _ in range(trials_per_step):
+            blamed_this_step |= set(runner(spec, trial_index))
+            trial_index += 1
+        new = {m for m in blamed_this_step if spec.is_atomic(m)}
+        if not new:
+            result.final_spec = spec
+            result.converged = True
+            return result
+        result.steps.append(
+            RefinementStep(step_index, trials_per_step, new, len(spec))
+        )
+        result.all_blamed |= new
+        spec = spec.exclude(new)
+        result.intermediate_specs.append(spec)
+
+    result.final_spec = spec
+    result.converged = False
+    return result

@@ -1,0 +1,102 @@
+"""Atomicity specifications.
+
+Following the paper's implementation (Section 4), a specification is
+an *exclusion list*: it names the methods **not** expected to execute
+atomically; every other method is part of the specification, i.e.,
+expected to be atomic.  The initial specification for iterative
+refinement excludes only top-level methods (thread entry points such
+as ``main()`` and ``Thread.run()`` analogues) and methods containing
+interrupting calls (``wait``/``notify``/...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List
+
+from repro.errors import SpecificationError
+from repro.runtime.program import Program
+
+
+@dataclass(frozen=True)
+class AtomicitySpecification:
+    """An immutable atomicity specification.
+
+    Attributes:
+        all_methods: the program's method universe (for validation and
+            for reporting refinement progress).
+        excluded: methods *removed* from the specification — they are
+            not expected to be atomic and never start transactions.
+    """
+
+    all_methods: FrozenSet[str]
+    excluded: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        unknown = self.excluded - self.all_methods
+        if unknown:
+            raise SpecificationError(
+                f"excluded methods not in the program: {sorted(unknown)}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def initial(cls, program: Program) -> "AtomicitySpecification":
+        """The strictest specification iterative refinement starts from.
+
+        Excludes thread entry points and interrupting methods, matching
+        Section 5.1 (the DaCapo driver thread's entry method is an entry
+        point here, so it is excluded the same way).
+        """
+        all_methods = frozenset(program.method_names())
+        excluded = set(program.entry_methods())
+        excluded.update(program.interrupting_methods())
+        return cls(all_methods, frozenset(excluded))
+
+    @classmethod
+    def empty(cls, program: Program) -> "AtomicitySpecification":
+        """A specification with *no* atomic methods (baseline timing runs)."""
+        all_methods = frozenset(program.method_names())
+        return cls(all_methods, all_methods)
+
+    # ------------------------------------------------------------------
+    def is_atomic(self, method: str) -> bool:
+        """Is ``method`` expected to execute atomically?"""
+        if method.startswith("<"):
+            return False  # runtime-internal pseudo-methods
+        return method not in self.excluded
+
+    def atomic_methods(self) -> List[str]:
+        """All methods currently in the specification, sorted."""
+        return sorted(m for m in self.all_methods if self.is_atomic(m))
+
+    def exclude(self, methods: Iterable[str]) -> "AtomicitySpecification":
+        """Return a copy with ``methods`` additionally excluded."""
+        return AtomicitySpecification(
+            self.all_methods, self.excluded | frozenset(methods)
+        )
+
+    def intersect(self, other: "AtomicitySpecification") -> "AtomicitySpecification":
+        """Methods atomic in *both* specifications remain atomic.
+
+        Used to prepare final specifications without bias toward one
+        checker (Section 5.1): the final spec is the intersection of the
+        specs each checker converged to.
+        """
+        if self.all_methods != other.all_methods:
+            raise SpecificationError(
+                "cannot intersect specifications over different programs"
+            )
+        return AtomicitySpecification(
+            self.all_methods, self.excluded | other.excluded
+        )
+
+    def __len__(self) -> int:
+        return len(self.atomic_methods())
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{len(self)} atomic / {len(self.all_methods)} methods "
+            f"({len(self.excluded)} excluded)"
+        )

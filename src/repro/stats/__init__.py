@@ -1,0 +1,17 @@
+"""Small statistics helpers for the experiment harness."""
+
+from repro.stats.summary import (
+    confidence_interval95,
+    geomean,
+    mean,
+    median,
+    normalize,
+)
+
+__all__ = [
+    "confidence_interval95",
+    "geomean",
+    "mean",
+    "median",
+    "normalize",
+]

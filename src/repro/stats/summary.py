@@ -1,0 +1,70 @@
+"""Summary statistics used by the evaluation harness.
+
+The paper reports medians of 25 trials with means as centers of 95%
+confidence intervals, and geometric means across benchmarks (the
+standard for normalized execution times).  These helpers reproduce
+those aggregations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+# two-sided 97.5% Student-t quantiles for small sample sizes; falls back
+# to the normal quantile beyond the table (scipy would provide these,
+# but a table keeps the hot path dependency-free)
+_T_TABLE = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+}
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median; raises on empty input."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; requires strictly positive values."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def confidence_interval95(values: Sequence[float]) -> Tuple[float, float]:
+    """Mean-centered 95% confidence half-width: (mean, half_width)."""
+    m = mean(values)
+    n = len(values)
+    if n < 2:
+        return (m, 0.0)
+    variance = sum((v - m) ** 2 for v in values) / (n - 1)
+    t = _T_TABLE.get(n - 1, 1.96)
+    half = t * math.sqrt(variance / n)
+    return (m, half)
+
+
+def normalize(values: Sequence[float], baseline: float) -> list:
+    """Divide each value by the baseline (normalized execution times)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return [v / baseline for v in values]

@@ -1,0 +1,16 @@
+"""Execution-trace recording and replay.
+
+DoubleChecker and Velodrome are *online* analyses: they run inside the
+program's execution.  The related work the paper compares against
+(Farzan & Parthasarathy, CAV 2008) detects cycles *offline*, after the
+execution finishes.  This package provides the shared substrate for
+offline work: record an execution's event stream once, persist it,
+and replay it through any :class:`~repro.runtime.listeners.
+ExecutionListener` — including the online checkers themselves, which
+produce identical results on a replayed trace (tested).
+"""
+
+from repro.trace.recorder import Trace, TraceRecorder, record_execution
+from repro.trace.replay import replay_trace
+
+__all__ = ["Trace", "TraceRecorder", "record_execution", "replay_trace"]

@@ -1,0 +1,105 @@
+"""Recording executions as serializable traces."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.runtime.events import AccessEvent
+from repro.runtime.executor import Executor
+from repro.runtime.listeners import ExecutionListener
+from repro.runtime.program import Program
+from repro.runtime.scheduler import Scheduler
+
+#: trace record kinds
+ACCESS, ENTER, EXIT, START, END = "a", "m+", "m-", "t+", "t-"
+
+
+@dataclass
+class Trace:
+    """A recorded execution: an ordered list of event tuples.
+
+    Access records: ``(ACCESS, seq, thread, oid, label, field, kind,
+    is_sync, is_array, site_method, site_index)``.
+    Method records: ``(ENTER/EXIT, thread, method, depth)``.
+    Thread records: ``(START/END, thread)``.
+    """
+
+    records: List[tuple] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def access_count(self) -> int:
+        return sum(1 for r in self.records if r[0] == ACCESS)
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Serialize, one JSON array per line."""
+        return "\n".join(json.dumps(list(r)) for r in self.records)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "Trace":
+        records = [
+            tuple(json.loads(line))
+            for line in text.splitlines()
+            if line.strip()
+        ]
+        return cls(records)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        with open(path) as handle:
+            return cls.from_jsonl(handle.read())
+
+
+class TraceRecorder(ExecutionListener):
+    """Listener that captures the full event stream."""
+
+    def __init__(self) -> None:
+        self.trace = Trace()
+
+    def on_thread_start(self, thread_name: str) -> None:
+        self.trace.records.append((START, thread_name))
+
+    def on_thread_end(self, thread_name: str) -> None:
+        self.trace.records.append((END, thread_name))
+
+    def on_method_enter(self, thread_name: str, method: str, depth: int) -> None:
+        self.trace.records.append((ENTER, thread_name, method, depth))
+
+    def on_method_exit(self, thread_name: str, method: str, depth: int) -> None:
+        self.trace.records.append((EXIT, thread_name, method, depth))
+
+    def on_access(self, event: AccessEvent) -> None:
+        self.trace.records.append(
+            (
+                ACCESS,
+                event.seq,
+                event.thread_name,
+                event.obj.oid,
+                getattr(event.obj, "label", ""),
+                event.fieldname,
+                event.kind.value,
+                event.is_sync,
+                event.is_array,
+                event.site.method,
+                event.site.index,
+            )
+        )
+
+
+def record_execution(
+    program: Program,
+    scheduler: Optional[Scheduler] = None,
+    extra_listeners: Iterable[ExecutionListener] = (),
+) -> Trace:
+    """Run ``program`` once and return its trace."""
+    recorder = TraceRecorder()
+    Executor(program, scheduler, [*extra_listeners, recorder]).run()
+    return recorder.trace

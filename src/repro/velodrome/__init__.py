@@ -1,0 +1,31 @@
+"""Velodrome (Flanagan, Freund & Yi, PLDI 2008) — the baseline.
+
+A sound and precise online conflict-serializability checker: it
+maintains, for every field, the last transaction to write it and each
+thread's last transaction to read it; detects cross-thread dependences
+at every access; adds edges to a transaction dependence graph; and
+checks for a cycle whenever an edge is added.  To keep analysis and
+access atomic in the face of races, every instrumented access executes
+inside a small critical section that locks a word of the field's
+metadata — the dominant cost the paper measures (82% of Velodrome's
+overhead in the authors' implementation).
+
+:class:`~repro.velodrome.unsound.UnsoundVelodrome` reproduces the
+variant that skips synchronization when metadata does not need to
+change (Section 5.3): cheaper, but able to miss dependences — and to
+crash — under metadata races.
+"""
+
+from repro.velodrome.checker import VelodromeChecker, VelodromeResult, VelodromeStats
+from repro.velodrome.metadata import FieldMetadata, MetadataTable
+from repro.velodrome.unsound import MetadataRaceError, UnsoundVelodrome
+
+__all__ = [
+    "FieldMetadata",
+    "MetadataRaceError",
+    "MetadataTable",
+    "UnsoundVelodrome",
+    "VelodromeChecker",
+    "VelodromeResult",
+    "VelodromeStats",
+]

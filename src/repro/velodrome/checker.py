@@ -1,0 +1,360 @@
+"""The Velodrome online checker.
+
+Transactions are demarcated exactly as in DoubleChecker (the shared
+:class:`~repro.core.transactions.TransactionManager`), and dependence
+graphs are represented the same way (edges on the transaction objects)
+— matching Section 4's statement that the two implementations share
+features as much as possible.  What differs is the work done per
+access: Velodrome detects cross-thread dependences *precisely* at
+every access, updates the field's last-access metadata inside a
+critical section (one atomic operation + fences per instrumented
+access), adds edges eagerly, and runs a cycle check after every new
+edge.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.blame import blamed_nodes
+from repro.core.gc import GcStats, TransactionCollector
+from repro.core.pdg import PdgEdge
+from repro.core.reports import ViolationRecord, ViolationSummary
+from repro.core.transactions import (
+    IdgEdge,
+    Transaction,
+    TransactionManager,
+    TransactionStats,
+)
+from repro.errors import OutOfMemoryBudget
+from repro.runtime.events import AccessEvent
+from repro.runtime.executor import ExecutionResult, Executor
+from repro.runtime.listeners import ExecutionListener
+from repro.runtime.program import Program
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.view import ExecutorView, NullView, RuntimeView
+from repro.spec.specification import AtomicitySpecification
+from repro.velodrome.metadata import MetadataTable
+
+
+@dataclass
+class VelodromeStats:
+    """Access-level work counters (feed the cost model)."""
+
+    instrumented_accesses: int = 0
+    atomic_operations: int = 0
+    memory_fences: int = 0
+    metadata_updates: int = 0
+    edges: int = 0
+    cycle_checks: int = 0
+    cycle_check_visits: int = 0
+    cycles_found: int = 0
+    array_accesses_skipped: int = 0
+    lost_metadata_updates: int = 0
+
+
+@dataclass
+class VelodromeResult:
+    """Outcome of one execution under Velodrome."""
+
+    violations: ViolationSummary
+    execution: ExecutionResult
+    stats: VelodromeStats
+    tx_stats: TransactionStats
+    gc_stats: GcStats
+    elapsed_seconds: float = 0.0
+
+    @property
+    def blamed_methods(self) -> set:
+        return self.violations.blamed_methods()
+
+
+class VelodromeChecker(ExecutionListener):
+    """Sound and precise online conflict-serializability checking.
+
+    Args:
+        spec: the atomicity specification.
+        monitor_regular / monitor_unary: instrumentation filters (used
+            when Velodrome serves as the *second run* of multi-run
+            mode, a variant Section 5.3 evaluates at 2.9X).
+        instrument_arrays / array_granularity_object: the Section 5.4
+            array experiment knobs (array-granularity metadata makes
+            the analysis imprecise, so the harness disables cycle
+            detection when it sets this).
+        cycle_detection: run the per-edge cycle check.
+        memory_budget: cap on live transactions (out-of-memory model).
+        gc_interval: transaction-collector cadence.
+    """
+
+    def __init__(
+        self,
+        spec: AtomicitySpecification,
+        *,
+        monitor_regular: Optional[Callable[[str], bool]] = None,
+        monitor_unary: bool = True,
+        instrument_arrays: bool = False,
+        array_granularity_object: bool = False,
+        cycle_detection: bool = True,
+        memory_budget: Optional[int] = None,
+        gc_interval: Optional[int] = 64,
+    ) -> None:
+        self.spec = spec
+        self.instrument_arrays = instrument_arrays
+        self.array_granularity_object = array_granularity_object
+        self.cycle_detection = cycle_detection
+        self.memory_budget = memory_budget
+        self.gc_interval = gc_interval
+        self.view: RuntimeView = NullView()
+
+        self.stats = VelodromeStats()
+        self.metadata = MetadataTable()
+        self.violations = ViolationSummary()
+        self.tx_manager = TransactionManager(
+            spec,
+            monitor_regular=monitor_regular,
+            monitor_unary=monitor_unary,
+            on_transaction_start=self._transaction_started,
+            on_transaction_end=self._transaction_ended,
+        )
+        self.collector = TransactionCollector(self.tx_manager)
+        self._edge_order = 0
+        #: creation order of the implicit intra-thread edge into each
+        #: transaction (the edge-counter value at transaction start)
+        self._intra_order: Dict[int, int] = {}
+        self._reported_cycles: Set[frozenset] = set()
+        self._tx_ends_since_gc = 0
+
+    # ------------------------------------------------------------------
+    # ExecutionListener
+    # ------------------------------------------------------------------
+    def on_method_enter(self, thread_name: str, method: str, depth: int) -> None:
+        self.tx_manager.on_method_enter(thread_name, method, depth)
+
+    def on_method_exit(self, thread_name: str, method: str, depth: int) -> None:
+        self.tx_manager.on_method_exit(thread_name, method, depth)
+
+    def on_thread_end(self, thread_name: str) -> None:
+        self.tx_manager.on_thread_end(thread_name)
+
+    def on_execution_end(self) -> None:
+        self.tx_manager.finish_all()
+
+    def on_access(self, event: AccessEvent) -> None:
+        if event.is_array and not self.instrument_arrays:
+            self.stats.array_accesses_skipped += 1
+            return
+        tx = self.tx_manager.transaction_for_access(event)
+        if tx is None:
+            return
+        self.stats.instrumented_accesses += 1
+        address = (
+            event.object_address
+            if (event.is_array and self.array_granularity_object)
+            else event.address
+        )
+        self._enter_critical_section(event, tx, address)
+        try:
+            self._analyze_access(event, tx, address)
+        finally:
+            self._exit_critical_section(event, tx, address)
+
+    # ------------------------------------------------------------------
+    # synchronization cost model hooks (overridden by the unsound variant)
+    # ------------------------------------------------------------------
+    def _enter_critical_section(self, event: AccessEvent, tx, address) -> None:
+        """Lock the field's metadata word: one atomic op + fence."""
+        self.stats.atomic_operations += 1
+        self.stats.memory_fences += 1
+
+    def _exit_critical_section(self, event: AccessEvent, tx, address) -> None:
+        """Unlock: a releasing store with a fence."""
+        self.stats.memory_fences += 1
+
+    def _metadata_update_allowed(self, event: AccessEvent, tx, address) -> bool:
+        """The sound checker never loses an update."""
+        return True
+
+    # ------------------------------------------------------------------
+    # the per-access analysis (Figure 5 rules, applied online)
+    # ------------------------------------------------------------------
+    def _analyze_access(
+        self, event: AccessEvent, tx: Transaction, address: Tuple[int, str]
+    ) -> None:
+        meta = self.metadata.lookup(address)
+        new_edges: List[IdgEdge] = []
+
+        writer = meta.last_writer
+        if writer is not None and writer.thread_name != tx.thread_name:
+            edge = self._add_edge(writer, tx)
+            if edge is not None:
+                new_edges.append(edge)
+
+        if event.is_read():
+            if self._metadata_update_allowed(event, tx, address):
+                if meta.last_readers.get(tx.thread_name) is not tx:
+                    self.stats.metadata_updates += 1
+                meta.last_readers[tx.thread_name] = tx
+        else:
+            # snapshot: adding an edge can end an interrupted unary
+            # transaction, whose GC purges weak metadata references
+            for thread_name, reader in list(meta.last_readers.items()):
+                if thread_name != tx.thread_name:
+                    edge = self._add_edge(reader, tx)
+                    if edge is not None:
+                        new_edges.append(edge)
+            if self._metadata_update_allowed(event, tx, address):
+                self.stats.metadata_updates += 1
+                meta.last_readers.clear()
+                meta.last_writer = tx
+
+        if self.cycle_detection:
+            for edge in new_edges:
+                self._check_cycle(edge)
+
+    def _add_edge(self, src: Transaction, dst: Transaction) -> Optional[IdgEdge]:
+        if src is dst or src.collected:
+            return None
+        if any(e.dst is dst for e in src.out_edges):
+            return None  # the edge already exists; do nothing
+        self._edge_order += 1
+        edge = IdgEdge(src, dst, "velodrome", self._edge_order)
+        src.out_edges.append(edge)
+        dst.in_edges.append(edge)
+        src.edge_touched = True
+        dst.edge_touched = True
+        self.stats.edges += 1
+        # eagerly end an interrupted unary transaction on the source
+        # side (the destination is the accessor, mid-access)
+        self.tx_manager.end_if_interrupted_unary(src)
+        return edge
+
+    # ------------------------------------------------------------------
+    # cycle detection: DFS for a path dst ⇝ src over cross edges and the
+    # intra-thread chains (cycles may include intra edges: a transaction
+    # overlapping two transactions of another thread closes through
+    # program order)
+    # ------------------------------------------------------------------
+    def _check_cycle(self, closing: IdgEdge) -> None:
+        self.stats.cycle_checks += 1
+        target = closing.src
+        start = closing.dst
+        discovered: Dict[Transaction, Tuple[Transaction, Optional[IdgEdge]]] = {}
+        stack = [start]
+        seen = {start}
+        found = False
+        while stack and not found:
+            node = stack.pop()
+            steps: List[Tuple[Transaction, Optional[IdgEdge]]] = [
+                (e.dst, e) for e in node.out_edges
+            ]
+            if node.intra_next is not None:
+                steps.append((node.intra_next, None))
+            for succ, via in steps:
+                if succ in seen:
+                    continue
+                seen.add(succ)
+                discovered[succ] = (node, via)
+                if succ is target:
+                    found = True
+                    break
+                stack.append(succ)
+        self.stats.cycle_check_visits += len(seen)
+        if not found:
+            return
+        self._report_cycle(closing, discovered, start, target)
+
+    def _report_cycle(
+        self,
+        closing: IdgEdge,
+        discovered: Dict[Transaction, Tuple[Transaction, Optional[IdgEdge]]],
+        start: Transaction,
+        target: Transaction,
+    ) -> None:
+        # reconstruct the path start ⇝ target, then append the closing edge
+        steps: List[Tuple[Transaction, Transaction, int]] = []
+        node = target
+        while node is not start:
+            prev, via = discovered[node]
+            order = via.order if via is not None else self._intra_order.get(
+                node.tx_id, 0
+            )
+            steps.append((prev, node, order))
+            node = prev
+        steps.reverse()
+        steps.append((closing.src, closing.dst, closing.order))
+
+        cycle_edges = [PdgEdge(s.tx_id, d.tx_id, order) for s, d, order in steps]
+        key = frozenset((e.src, e.dst) for e in cycle_edges)
+        if key in self._reported_cycles:
+            return
+        self._reported_cycles.add(key)
+        self.stats.cycles_found += 1
+
+        tx_by_id = {s.tx_id: s for s, _d, _o in steps}
+        for _s, d, _o in steps:
+            tx_by_id[d.tx_id] = d
+        blamed = blamed_nodes(cycle_edges)
+        # prefer blaming a regular transaction (see repro.core.pcd)
+        regular = [b for b in blamed if not tx_by_id[b].is_unary]
+        blamed_id = (regular or blamed)[0]
+        blamed_tx = tx_by_id[blamed_id]
+        cycle_ids = tuple(e.src for e in cycle_edges)
+        self.violations.add(
+            ViolationRecord(
+                blamed_method=blamed_tx.method,
+                blamed_tx_id=blamed_id,
+                thread_name=blamed_tx.thread_name,
+                cycle_methods=tuple(tx_by_id[i].method for i in cycle_ids),
+                cycle_tx_ids=cycle_ids,
+                detector="velodrome",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # transaction lifecycle, GC, memory budget
+    # ------------------------------------------------------------------
+    def _transaction_started(self, tx: Transaction) -> None:
+        self._intra_order[tx.tx_id] = self._edge_order
+
+    def _transaction_ended(self, tx: Transaction) -> None:
+        self._tx_ends_since_gc += 1
+        if (
+            self.gc_interval is not None
+            and self._tx_ends_since_gc >= self.gc_interval
+        ):
+            self._tx_ends_since_gc = 0
+            self.collector.note_peak()
+            self.collector.collect()
+            self.metadata.purge_collected()
+            live = {t.tx_id for t in self.tx_manager.all_transactions}
+            self._intra_order = {
+                k: v for k, v in self._intra_order.items() if k in live
+            }
+        if self.memory_budget is not None:
+            used = len(self.tx_manager.all_transactions)
+            if used > self.memory_budget:
+                raise OutOfMemoryBudget("Velodrome", used, self.memory_budget)
+
+    # ------------------------------------------------------------------
+    def bind_view(self, view: RuntimeView) -> None:
+        self.view = view
+
+    def run(
+        self, program: Program, scheduler: Optional[Scheduler] = None
+    ) -> VelodromeResult:
+        """Execute ``program`` under this checker."""
+        started = time.perf_counter()
+        executor = Executor(program, scheduler, [self])
+        self.bind_view(ExecutorView(executor))
+        execution = executor.run()
+        elapsed = time.perf_counter() - started
+        return VelodromeResult(
+            violations=self.violations,
+            execution=execution,
+            stats=self.stats,
+            tx_stats=self.tx_manager.stats,
+            gc_stats=self.collector.stats,
+            elapsed_seconds=elapsed,
+        )

@@ -1,0 +1,32 @@
+"""Synthetic benchmark workloads.
+
+The paper evaluates on the multithreaded DaCapo benchmarks, a set of
+microbenchmarks, and three Java Grande programs.  Those programs are
+unavailable here (and a JVM to run them on even less so), but the
+evaluation never depends on their *semantics* — only on their access
+and synchronization profiles and on which methods harbour atomicity
+violations.  This package synthesizes one workload per benchmark name,
+parameterized to reproduce each program's qualitative profile from the
+paper's Tables 2 and 3 (scaled down ~10³ in dynamic counts).
+"""
+
+from repro.workloads.builder import WorkloadSpec, build_program
+from repro.workloads.catalog import (
+    CATALOG,
+    all_names,
+    build,
+    compute_bound_names,
+    get_spec,
+)
+from repro.workloads.patterns import PATTERN_NAMES
+
+__all__ = [
+    "CATALOG",
+    "PATTERN_NAMES",
+    "WorkloadSpec",
+    "all_names",
+    "build",
+    "build_program",
+    "compute_bound_names",
+    "get_spec",
+]

@@ -1,0 +1,327 @@
+"""The benchmark catalog: one workload per paper benchmark.
+
+Parameters are calibrated to each program's qualitative profile in the
+paper's Tables 2 and 3 (scaled down ~10³–10⁴× in dynamic counts):
+
+========== ===============================================================
+benchmark  profile reproduced
+========== ===============================================================
+eclipse6   largest violation population (230–244 static violations in the
+           paper → the largest ``violating_methods`` here), many
+           transactions and edges, some SCCs
+hsqldb6    database-style locked traffic with a moderate bug population
+lusearch6  per-thread search, exactly one rare violation, ~no SCCs
+xalan6     the SCC storm: ring traffic + field-sliced objects make ICD
+           find thousands of imprecise SCCs, PCD-heavy (the one program
+           where Velodrome beats single-run mode)
+avrora9    very many small transactions, heavy contention and edge
+           traffic; the metadata-race crash benchmark for the unsound
+           Velodrome variant
+jython9    effectively sequential: threads on disjoint data, zero
+           violations, zero edges
+luindex9   same shape as jython9, smaller
+lusearch9  per-thread search with a few violations, few edges/SCCs
+pmd9       disjoint analysis tasks: zero violations
+sunflow9   read-shared scene data + a long-running transaction (the PCD
+           out-of-memory hazard; its method is a spec adjustment)
+xalan9     many transactions, moderate SCCs, sizable bug population
+elevator   tiny interactive simulation, two rare violations
+hedc       tiny crawler, one violation (paper: 2–3)
+philo      dining philosophers on wait/notify, zero violations
+sor        barrier-phased stencil: fork/join only, zero violations
+tsp        branch-and-bound with huge *non-transactional* access counts
+           (the unary-dominated benchmark), a handful of violations
+moldyn     Java Grande MD: mostly disjoint + locked reductions, zero
+           violations, very few edges
+montecarlo Java Grande MC: field-sliced accumulators → thousands of
+           imprecise SCCs but only rare real violations
+raytracer  Java Grande RT: long-running render transaction (PCD OOM
+           hazard → spec adjustment), one SCC, zero violations
+========== ===============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.runtime.program import Program
+from repro.workloads.builder import WorkloadSpec, build_program
+
+CATALOG: Dict[str, WorkloadSpec] = {
+    "eclipse6": WorkloadSpec(
+        name="eclipse6",
+        threads=6,
+        iterations=110,
+        shared_objects=6,
+        readonly_objects=8,
+        violating_methods=24,
+        safe_methods=20,
+        unary_ops=2,
+        violating_weight=0.28,
+        pad=8,
+    ),
+    "hsqldb6": WorkloadSpec(
+        name="hsqldb6",
+        threads=4,
+        iterations=60,
+        shared_objects=5,
+        readonly_objects=4,
+        violating_methods=6,
+        safe_methods=12,
+        unary_ops=1,
+        violating_weight=0.12,
+        pad=8,
+    ),
+    "lusearch6": WorkloadSpec(
+        name="lusearch6",
+        threads=6,
+        iterations=70,
+        shared_objects=6,
+        readonly_objects=8,
+        violating_methods=1,
+        safe_methods=10,
+        unary_ops=2,
+        violating_weight=0.05,
+        shared_read_weight=0.5,
+        private_weight=0.4,
+        pad=9,
+    ),
+    "xalan6": WorkloadSpec(
+        name="xalan6",
+        threads=8,
+        iterations=90,
+        shared_objects=10,
+        readonly_objects=4,
+        violating_methods=7,
+        safe_methods=8,
+        unary_ops=3,
+        violating_weight=0.08,
+        sliced_methods=8,
+        sliced_weight=0.40,
+        ring_size=5,
+        ring_weight=0.12,
+        pad=3,
+    ),
+    "avrora9": WorkloadSpec(
+        name="avrora9",
+        threads=8,
+        iterations=130,
+        shared_objects=6,
+        readonly_objects=2,
+        violating_methods=3,
+        safe_methods=10,
+        unary_ops=4,
+        violating_weight=0.04,
+        sliced_methods=4,
+        sliced_weight=0.07,
+        pad=6,
+    ),
+    "jython9": WorkloadSpec(
+        name="jython9",
+        threads=2,
+        iterations=80,
+        shared_objects=4,
+        readonly_objects=4,
+        violating_methods=0,
+        safe_methods=8,
+        unary_ops=4,
+        disjoint=True,
+        pad=6,
+    ),
+    "luindex9": WorkloadSpec(
+        name="luindex9",
+        threads=2,
+        iterations=40,
+        shared_objects=4,
+        readonly_objects=4,
+        violating_methods=0,
+        safe_methods=6,
+        unary_ops=3,
+        disjoint=True,
+        pad=6,
+    ),
+    "lusearch9": WorkloadSpec(
+        name="lusearch9",
+        threads=6,
+        iterations=70,
+        shared_objects=6,
+        readonly_objects=8,
+        violating_methods=4,
+        safe_methods=10,
+        unary_ops=3,
+        violating_weight=0.06,
+        shared_read_weight=0.5,
+        private_weight=0.35,
+        pad=8,
+    ),
+    "pmd9": WorkloadSpec(
+        name="pmd9",
+        threads=4,
+        iterations=40,
+        shared_objects=4,
+        readonly_objects=4,
+        violating_methods=0,
+        safe_methods=8,
+        unary_ops=2,
+        disjoint=True,
+        pad=6,
+    ),
+    "sunflow9": WorkloadSpec(
+        name="sunflow9",
+        threads=6,
+        iterations=70,
+        shared_objects=6,
+        readonly_objects=10,
+        violating_methods=2,
+        safe_methods=10,
+        unary_ops=1,
+        violating_weight=0.06,
+        shared_read_weight=0.6,
+        long_transaction_iters=1050,
+        pad=8,
+        spec_adjustments=("render_scene",),
+    ),
+    "xalan9": WorkloadSpec(
+        name="xalan9",
+        threads=6,
+        iterations=90,
+        shared_objects=6,
+        readonly_objects=4,
+        violating_methods=8,
+        safe_methods=12,
+        unary_ops=3,
+        violating_weight=0.14,
+        sliced_methods=3,
+        sliced_weight=0.08,
+        pad=7,
+    ),
+    "elevator": WorkloadSpec(
+        name="elevator",
+        threads=3,
+        iterations=25,
+        shared_objects=4,
+        readonly_objects=2,
+        violating_methods=2,
+        safe_methods=6,
+        unary_ops=1,
+        violating_weight=0.10,
+        pad=5,
+    ),
+    "hedc": WorkloadSpec(
+        name="hedc",
+        threads=3,
+        iterations=12,
+        shared_objects=3,
+        readonly_objects=2,
+        violating_methods=1,
+        safe_methods=5,
+        unary_ops=1,
+        violating_weight=0.15,
+        pad=5,
+    ),
+    "philo": WorkloadSpec(
+        name="philo",
+        threads=2,
+        iterations=10,
+        shared_objects=3,
+        readonly_objects=2,
+        violating_methods=0,
+        safe_methods=4,
+        unary_ops=1,
+        wait_notify_pairs=2,
+        pad=4,
+    ),
+    "sor": WorkloadSpec(
+        name="sor",
+        threads=4,
+        iterations=30,
+        shared_objects=4,
+        readonly_objects=4,
+        violating_methods=0,
+        safe_methods=6,
+        unary_ops=6,
+        disjoint=True,
+        pad=6,
+    ),
+    "tsp": WorkloadSpec(
+        name="tsp",
+        threads=4,
+        iterations=40,
+        shared_objects=5,
+        readonly_objects=3,
+        violating_methods=1,
+        safe_methods=8,
+        unary_ops=14,
+        violating_weight=0.07,
+        pad=6,
+    ),
+    "moldyn": WorkloadSpec(
+        name="moldyn",
+        threads=4,
+        iterations=90,
+        shared_objects=4,
+        readonly_objects=6,
+        violating_methods=0,
+        safe_methods=10,
+        unary_ops=3,
+        disjoint=True,
+        pad=8,
+    ),
+    "montecarlo": WorkloadSpec(
+        name="montecarlo",
+        threads=4,
+        iterations=80,
+        shared_objects=6,
+        readonly_objects=6,
+        violating_methods=1,
+        safe_methods=8,
+        unary_ops=3,
+        violating_weight=0.03,
+        sliced_methods=6,
+        sliced_weight=0.12,
+        pad=7,
+    ),
+    "raytracer": WorkloadSpec(
+        name="raytracer",
+        threads=4,
+        iterations=50,
+        shared_objects=4,
+        readonly_objects=8,
+        violating_methods=0,
+        safe_methods=8,
+        unary_ops=2,
+        shared_read_weight=0.55,
+        long_transaction_iters=1200,
+        pad=8,
+        spec_adjustments=("render_scene",),
+    ),
+}
+
+#: benchmarks excluded from performance experiments because they are not
+#: compute bound (Section 5.3)
+NOT_COMPUTE_BOUND = ("elevator", "hedc", "philo")
+
+
+def all_names() -> List[str]:
+    """All 19 benchmark names, in the paper's table order."""
+    return list(CATALOG)
+
+
+def compute_bound_names() -> List[str]:
+    """The 16 benchmarks used in performance experiments."""
+    return [n for n in CATALOG if n not in NOT_COMPUTE_BOUND]
+
+
+def get_spec(name: str) -> WorkloadSpec:
+    """Look up a workload spec by benchmark name."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(CATALOG)}"
+        ) from None
+
+
+def build(name: str) -> Program:
+    """Build a fresh program for the named benchmark."""
+    return build_program(get_spec(name))

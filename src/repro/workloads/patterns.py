@@ -1,0 +1,220 @@
+"""Atomicity-violation idioms.
+
+Each pattern is a method-body generator factory: given the shared
+objects it operates on, it returns a generator-function body suitable
+for :meth:`repro.runtime.program.Program.add_method`.  The violating
+patterns are the idioms the bug-characteristics literature (Lu et al.,
+ASPLOS 2008) identifies as dominant in real code; the safe patterns
+provide the non-violating traffic every benchmark is mostly made of.
+
+Violating patterns (each yields conflict-serializability cycles when
+interleaved, because the method is in the atomicity specification but
+does not enforce atomicity):
+
+* ``split_rmw`` — read-compute-write with no lock: a remote write
+  between the read and the write creates W→R / R→W edges both ways.
+* ``toctou`` — check-then-act: test a flag, then act on the protected
+  state; the flag and the state are distinct fields.
+* ``two_phase_locked`` — each *half* holds the lock, but the method
+  releases it between the halves (the classic "locked but not atomic"
+  bug: individual accesses race-free, region not serializable).
+* ``read_pair`` — reads the same field twice expecting stability; a
+  remote write between them yields a W→R/R→W cycle.
+
+Safe patterns:
+
+* ``locked_rmw`` — the whole read-modify-write under the object's
+  monitor.
+* ``private_work`` — accesses a thread-private object only.
+* ``shared_read`` — reads read-mostly objects (drives Octet's RdSh
+  states and fence transitions without creating violations).
+* ``hot_write`` — writes a dedicated per-method object (WrEx traffic,
+  conflicting transitions when two benchmarks share it).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Sequence
+
+from repro.runtime.heap import SharedObject
+from repro.runtime.ops import Acquire, Compute, Read, Release, Write
+
+Body = Callable[..., Any]
+
+
+def split_rmw(target: SharedObject, fieldname: str = "value", gap: int = 2) -> Body:
+    """Unsynchronized read-modify-write (the canonical violation)."""
+
+    def body(ctx):
+        value = yield Read(target, fieldname)
+        yield Compute(gap)
+        yield Write(target, fieldname, (value or 0) + 1)
+
+    return body
+
+
+def toctou(flag_obj: SharedObject, state_obj: SharedObject) -> Body:
+    """Check a flag, then act on separately-raced state."""
+
+    def body(ctx):
+        ready = yield Read(flag_obj, "ready")
+        yield Compute(1)
+        if ready:
+            current = yield Read(state_obj, "items")
+            yield Write(state_obj, "items", (current or 0) - 1)
+        else:
+            yield Write(flag_obj, "ready", 1)
+            yield Write(state_obj, "items", 1)
+
+    return body
+
+
+def two_phase_locked(target: SharedObject, fieldname: str = "balance") -> Body:
+    """Race-free but non-atomic: the lock is dropped mid-region."""
+
+    def body(ctx):
+        yield Acquire(target)
+        value = yield Read(target, fieldname)
+        yield Release(target)
+        yield Compute(2)
+        yield Acquire(target)
+        yield Write(target, fieldname, (value or 0) + 1)
+        yield Release(target)
+
+    return body
+
+
+def read_pair(target: SharedObject, fieldname: str = "config") -> Body:
+    """Two reads expecting a stable value."""
+
+    def body(ctx):
+        first = yield Read(target, fieldname)
+        yield Compute(2)
+        second = yield Read(target, fieldname)
+        if first != second:
+            yield Write(target, "retries", 1)
+
+    return body
+
+
+def locked_rmw(target: SharedObject, fieldname: str = "value") -> Body:
+    """Atomic read-modify-write under the object's monitor."""
+
+    def body(ctx):
+        yield Acquire(target)
+        value = yield Read(target, fieldname)
+        yield Write(target, fieldname, (value or 0) + 1)
+        yield Release(target)
+
+    return body
+
+
+def private_work(target: SharedObject, ops: int = 4) -> Body:
+    """Thread-private traffic: fast-path Octet states, no dependences."""
+
+    def body(ctx):
+        for i in range(ops):
+            value = yield Read(target, f"slot{i % 2}")
+            yield Write(target, f"slot{i % 2}", (value or 0) + 1)
+
+    return body
+
+
+def shared_read(targets: Sequence[SharedObject], ops: int = 3) -> Body:
+    """Read-mostly traffic over shared objects (RdSh states, fences)."""
+
+    def body(ctx):
+        total = 0
+        for i in range(ops):
+            value = yield Read(targets[i % len(targets)], "data")
+            total += value or 0
+
+    return body
+
+
+def hot_write(target: SharedObject, fieldname: str = "hot") -> Body:
+    """A single write to a contended object (conflicting transitions)."""
+
+    def body(ctx):
+        yield Write(target, fieldname, 1)
+
+    return body
+
+
+def long_loop(target: SharedObject, iterations: int) -> Body:
+    """A long-running transaction touching many *distinct* fields.
+
+    Models raytracer's and sunflow9's long atomic regions, whose logs
+    make PCD exhaust memory (Section 5.1's methodology adjustment).
+    Fields are distinct so duplicate elision cannot shrink the log —
+    matching the real hazard, where a render loop touches fresh scene
+    data throughout.
+    """
+
+    def body(ctx):
+        shared = ctx.shared[0]
+        for i in range(iterations):
+            value = yield Read(target, f"cell{i}")
+            yield Write(target, f"cell{i}", (value or 0) + 1)
+            if i % 400 == 0:
+                # periodic progress updates on shared state: the long
+                # transaction exchanges dependences with concurrent
+                # transactions, so ICD's imprecise cycles can (and do)
+                # pull its huge log into PCD — the Section 5.1 hazard
+                progress = yield Read(shared, "progress")
+                yield Write(shared, "progress", (progress or 0) + 1)
+
+    return body
+
+
+def ring_write(targets: Sequence[SharedObject], start: int) -> Body:
+    """Write around a ring of shared objects.
+
+    With several threads starting at different ring offsets, dependence
+    edges form abundant cross-thread cycles at transaction granularity
+    without any being an atomicity violation per se once refined —
+    xalan6's SCC-storm profile.
+    """
+
+    def body(ctx):
+        n = len(targets)
+        for step in range(n):
+            obj = targets[(start + step) % n]
+            value = yield Read(obj, "token")
+            yield Write(obj, "token", (value or 0) + 1)
+
+    return body
+
+
+def field_sliced(target: SharedObject) -> Body:
+    """Per-thread fields of one shared object.
+
+    The body takes a ``lane`` argument; each lane touches only its own
+    field, so there is **no** precise cross-thread dependence — but
+    Octet tracks state at object granularity, so every lane switch is a
+    conflicting transition and ICD adds edges.  This is the purest
+    driver of imprecise-but-not-precise SCCs (montecarlo's profile:
+    thousands of ICD SCCs, almost no violations).
+    """
+
+    def body(ctx, lane):
+        value = yield Read(target, f"slot{lane}")
+        yield Compute(1)
+        yield Write(target, f"slot{lane}", (value or 0) + 1)
+
+    return body
+
+
+PATTERN_NAMES = [
+    "field_sliced",
+    "split_rmw",
+    "toctou",
+    "two_phase_locked",
+    "read_pair",
+    "locked_rmw",
+    "private_work",
+    "shared_read",
+    "hot_write",
+    "long_loop",
+    "ring_write",
+]

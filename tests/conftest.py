@@ -1,0 +1,21 @@
+"""Pytest configuration for the DoubleChecker reproduction tests."""
+
+import pytest
+
+from repro.runtime.scheduler import RandomScheduler, RoundRobinScheduler
+
+
+@pytest.fixture
+def rr():
+    """A fresh round-robin scheduler."""
+    return RoundRobinScheduler()
+
+
+@pytest.fixture
+def random_scheduler():
+    """A factory for seeded random schedulers."""
+
+    def make(seed: int = 0, switch_prob: float = 0.5) -> RandomScheduler:
+        return RandomScheduler(seed=seed, switch_prob=switch_prob)
+
+    return make

@@ -1,0 +1,43 @@
+"""Blame assignment: outgoing edge older than incoming."""
+
+import pytest
+
+from repro.core.blame import blamed_nodes
+from repro.core.pdg import PdgEdge
+
+
+def cycle(*pairs_with_order):
+    return [PdgEdge(src, dst, order) for src, dst, order in pairs_with_order]
+
+
+def test_completing_transaction_blamed():
+    # 1 -> 2 created first, then 2 -> 1 closes the cycle:
+    # node 1's outgoing (order 1) is older than its incoming (order 2)
+    assert blamed_nodes(cycle((1, 2, 1), (2, 1, 2))) == [1]
+
+
+def test_newest_edge_sink_always_blamed():
+    edges = cycle((1, 2, 5), (2, 3, 1), (3, 1, 9))
+    # closing edge 3->1 (order 9): node 1 has out=5 < in=9 -> blamed
+    assert 1 in blamed_nodes(edges)
+
+
+def test_multiple_blames_possible():
+    # orders: 1->2 @1, 2->3 @4, 3->1 @6:
+    # node 1: out 1 < in 6 (blamed); node 2: out 4 > in 1; node 3: out 6 > in 4
+    assert blamed_nodes(cycle((1, 2, 1), (2, 3, 4), (3, 1, 6))) == [1]
+    # orders: 1->2 @2, 2->3 @1, 3->1 @3:
+    # node 1: out 2 < in 3 (blamed); node 2: out 1 < in 2 (blamed)
+    assert blamed_nodes(cycle((1, 2, 2), (2, 3, 1), (3, 1, 3))) == [1, 2]
+
+
+def test_empty_cycle():
+    assert blamed_nodes([]) == []
+
+
+def test_figure3_style_blame():
+    """The paper's example: Tx1i's outgoing edge (to Tx2j/Tx3k) exists
+    before its incoming edge, so Tx1i completes the cycle and is blamed."""
+    tx1, tx3 = 11, 33
+    edges = cycle((tx1, tx3, 1), (tx3, tx1, 2))
+    assert blamed_nodes(edges) == [tx1]

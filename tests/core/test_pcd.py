@@ -1,0 +1,181 @@
+"""PCD: topological log replay and precise cycle detection."""
+
+import pytest
+
+from repro.core.pcd import PCD
+from repro.core.rwlog import ReadWriteLog
+from repro.core.transactions import IdgEdge, Transaction
+from repro.errors import OutOfMemoryBudget
+from repro.runtime.events import AccessKind
+
+R, W = AccessKind.READ, AccessKind.WRITE
+
+
+def make_tx(tx_id, thread, method=None):
+    tx = Transaction(tx_id, thread, method or f"m{tx_id}", False)
+    tx.finished = True
+    tx.log = ReadWriteLog()
+    return tx
+
+
+def log(tx, kind, oid, field, seq):
+    tx.log.append_access(kind, oid, field, seq, "site")
+
+
+_order = [0]
+
+
+def link(src, dst, seq):
+    _order[0] += 1
+    edge = IdgEdge(src, dst, "test", _order[0])
+    edge.src_log_index = src.log.append_mark(edge.order, True, seq)
+    edge.dst_log_index = dst.log.append_mark(edge.order, False, seq)
+    src.out_edges.append(edge)
+    dst.in_edges.append(edge)
+
+
+class TestCycles:
+    def test_classic_write_read_cycle(self):
+        a = make_tx(1, "T1", "methodA")
+        b = make_tx(2, "T2", "methodB")
+        log(a, W, 100, "f", 1)
+        log(b, R, 100, "f", 2)
+        log(b, W, 100, "f", 3)
+        log(a, R, 100, "f", 4)
+        violations = PCD().process([a, b])
+        assert len(violations) == 1
+        record = violations[0]
+        assert set(record.cycle_tx_ids) == {1, 2}
+        # methodA kept running after its effects escaped: it is blamed
+        assert record.blamed_method == "methodA"
+
+    def test_no_cycle_for_one_way_dependence(self):
+        a = make_tx(1, "T1")
+        b = make_tx(2, "T2")
+        log(a, W, 100, "f", 1)
+        log(b, R, 100, "f", 2)
+        assert PCD().process([a, b]) == []
+
+    def test_field_granularity_rules_out_icd_false_positive(self):
+        """Different fields of one object: ICD (object granularity)
+        would cycle these; PCD must not."""
+        a = make_tx(1, "T1")
+        b = make_tx(2, "T2")
+        log(a, W, 100, "f", 1)
+        log(b, W, 100, "g", 2)
+        log(b, R, 100, "g", 3)
+        log(a, R, 100, "f", 4)
+        assert PCD().process([a, b]) == []
+
+    def test_read_write_conflict_cycle(self):
+        """R->W then W->R in the other direction."""
+        a = make_tx(1, "T1")
+        b = make_tx(2, "T2")
+        log(a, R, 100, "f", 1)   # A reads f
+        log(b, W, 100, "f", 2)   # B writes f: R->W edge A->B
+        log(b, R, 100, "g", 3)   # B reads g
+        log(a, W, 100, "g", 4)   # A writes g: R->W edge B->A -> cycle
+        violations = PCD().process([a, b])
+        assert len(violations) == 1
+
+    def test_three_party_cycle(self):
+        a, b, c = make_tx(1, "T1"), make_tx(2, "T2"), make_tx(3, "T3")
+        log(a, W, 1, "x", 1)
+        log(b, R, 1, "x", 2)   # a -> b
+        log(b, W, 2, "y", 3)
+        log(c, R, 2, "y", 4)   # b -> c
+        log(c, W, 3, "z", 5)
+        log(a, R, 3, "z", 6)   # c -> a: cycle
+        violations = PCD().process([a, b, c])
+        assert len(violations) == 1
+        assert set(violations[0].cycle_tx_ids) == {1, 2, 3}
+
+    def test_same_thread_transactions_never_create_cross_edges(self):
+        a1 = make_tx(1, "T1")
+        a2 = make_tx(2, "T1")
+        log(a1, W, 1, "f", 1)
+        log(a2, R, 1, "f", 2)
+        assert PCD().process([a1, a2]) == []
+
+    def test_duplicate_cycles_reported_once(self):
+        pcd = PCD()
+        a = make_tx(1, "T1")
+        b = make_tx(2, "T2")
+        log(a, W, 1, "f", 1)
+        log(b, R, 1, "f", 2)
+        log(b, W, 1, "f", 3)
+        log(a, R, 1, "f", 4)
+        first = pcd.process([a, b])
+        second = pcd.process([a, b])  # ICD may re-submit a grown SCC
+        assert len(first) == 1 and second == []
+
+
+class TestReplayOrdering:
+    def test_edge_marks_constrain_merge(self):
+        """A sink mark must wait for its source even when sequence
+        numbers would tempt the merge to run ahead."""
+        a = make_tx(1, "T1")
+        b = make_tx(2, "T2")
+        log(a, W, 1, "f", 10)
+        link(a, b, 11)          # A's state change happened before B's read
+        log(b, R, 1, "f", 12)
+        pcd = PCD()
+        pcd.process([a, b])
+        assert pcd.stats.order_fallbacks == 0
+        assert pcd.stats.entries_replayed == 4  # 2 accesses + 2 marks
+
+    def test_marks_for_out_of_component_edges_ignored(self):
+        a = make_tx(1, "T1")
+        b = make_tx(2, "T2")
+        outsider = make_tx(3, "T3")
+        log(a, W, 1, "f", 1)
+        link(a, outsider, 2)    # edge leaves the component
+        log(b, R, 1, "f", 3)
+        pcd = PCD()
+        assert pcd.process([a, b]) == []
+        assert pcd.stats.order_fallbacks == 0
+
+    def test_conflicting_accesses_replayed_in_execution_order(self):
+        a = make_tx(1, "T1")
+        b = make_tx(2, "T2")
+        # true order: B writes f (5), A writes f (6): dependence B -> A only
+        log(b, W, 1, "f", 5)
+        log(a, W, 1, "f", 6)
+        pcd = PCD()
+        assert pcd.process([a, b]) == []
+        assert pcd.stats.pdg_edges == 1
+
+
+class TestInputHandling:
+    def test_components_smaller_than_two_skipped(self):
+        a = make_tx(1, "T1")
+        log(a, W, 1, "f", 1)
+        assert PCD().process([a]) == []
+
+    def test_transactions_without_logs_skipped(self):
+        a = make_tx(1, "T1")
+        log(a, W, 1, "f", 1)
+        b = Transaction(2, "T2", "m2", False)  # no log (unmonitored)
+        b.finished = True
+        assert PCD().process([a, b]) == []
+
+    def test_memory_budget_enforced(self):
+        a = make_tx(1, "T1")
+        b = make_tx(2, "T2")
+        for i in range(50):
+            log(a, W, 1, f"f{i}", i)
+            log(b, R, 1, f"f{i}", 100 + i)
+        with pytest.raises(OutOfMemoryBudget):
+            PCD(memory_budget=10).process([a, b])
+
+    def test_stats_accumulate(self):
+        pcd = PCD()
+        a = make_tx(1, "T1")
+        b = make_tx(2, "T2")
+        log(a, W, 1, "f", 1)
+        log(b, R, 1, "f", 2)
+        pcd.process([a, b])
+        assert pcd.stats.components_processed == 1
+        assert pcd.stats.transactions_processed == 2
+        assert pcd.stats.accesses_replayed == 2
+        assert pcd.stats.pdg_edges == 1

@@ -1,0 +1,45 @@
+"""Violation records and summaries."""
+
+from repro.core.reports import ViolationRecord, ViolationSummary
+
+
+def record(method="m", tx_id=1, detector="pcd"):
+    return ViolationRecord(
+        blamed_method=method,
+        blamed_tx_id=tx_id,
+        thread_name="T1",
+        cycle_methods=(method, "other"),
+        cycle_tx_ids=(tx_id, tx_id + 1),
+        detector=detector,
+    )
+
+
+def test_static_dedup_by_method():
+    summary = ViolationSummary()
+    summary.add(record("m", 1))
+    summary.add(record("m", 2))
+    summary.add(record("n", 3))
+    assert summary.dynamic_count() == 3
+    assert summary.static_count() == 2
+    assert summary.blamed_methods() == {"m", "n"}
+
+
+def test_bool_and_merge():
+    summary = ViolationSummary()
+    assert not summary
+    summary.add(record())
+    assert summary
+    other = ViolationSummary()
+    other.add(record("x"))
+    summary.merge(other)
+    assert summary.blamed_methods() == {"m", "x"}
+
+
+def test_cycle_size():
+    assert record().cycle_size == 2
+
+
+def test_extend():
+    summary = ViolationSummary()
+    summary.extend([record("a"), record("b")])
+    assert summary.static_count() == 2

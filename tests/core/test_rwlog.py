@@ -1,0 +1,84 @@
+"""Read/write logs and duplicate elision."""
+
+from repro.core.rwlog import (
+    AccessEntry,
+    EdgeMark,
+    ElisionFilter,
+    ReadWriteLog,
+)
+from repro.runtime.events import AccessKind
+
+R, W = AccessKind.READ, AccessKind.WRITE
+
+
+class TestReadWriteLog:
+    def test_append_access_returns_index(self):
+        log = ReadWriteLog()
+        assert log.append_access(R, 1, "f", 10, "m@0") == 0
+        assert log.append_access(W, 1, "f", 11, "m@1") == 1
+        assert len(log) == 2
+        assert log.access_count() == 2
+
+    def test_edge_marks_interleave(self):
+        log = ReadWriteLog()
+        log.append_access(R, 1, "f", 10, "m@0")
+        index = log.append_mark(7, True, 11)
+        assert index == 1
+        assert isinstance(log.entries[1], EdgeMark)
+        assert log.access_count() == 1
+
+    def test_entry_address(self):
+        entry = AccessEntry(R, 3, "g", 5, "m@0")
+        assert entry.address == (3, "g")
+
+
+class TestElision:
+    def test_duplicate_read_elided(self):
+        f = ElisionFilter()
+        assert f.should_log("T", 1, "f", R)
+        assert not f.should_log("T", 1, "f", R)
+        assert f.stats.elided == 1
+
+    def test_duplicate_write_elided(self):
+        f = ElisionFilter()
+        assert f.should_log("T", 1, "f", W)
+        assert not f.should_log("T", 1, "f", W)
+
+    def test_read_after_write_elided(self):
+        """A read adds nothing after a same-window write."""
+        f = ElisionFilter()
+        assert f.should_log("T", 1, "f", W)
+        assert not f.should_log("T", 1, "f", R)
+
+    def test_write_after_read_not_elided(self):
+        f = ElisionFilter()
+        assert f.should_log("T", 1, "f", R)
+        assert f.should_log("T", 1, "f", W)
+
+    def test_bump_opens_new_window(self):
+        f = ElisionFilter()
+        assert f.should_log("T", 1, "f", R)
+        f.bump("T")
+        assert f.should_log("T", 1, "f", R)
+
+    def test_windows_are_per_thread(self):
+        f = ElisionFilter()
+        assert f.should_log("T1", 1, "f", R)
+        assert f.should_log("T2", 1, "f", R)
+        f.bump("T1")
+        assert f.should_log("T1", 1, "f", R)
+        assert not f.should_log("T2", 1, "f", R)
+
+    def test_distinct_fields_not_elided(self):
+        f = ElisionFilter()
+        assert f.should_log("T", 1, "f", R)
+        assert f.should_log("T", 1, "g", R)
+        assert f.should_log("T", 2, "f", R)
+
+    def test_stats_count_both_sides(self):
+        f = ElisionFilter()
+        f.should_log("T", 1, "f", R)
+        f.should_log("T", 1, "f", R)
+        f.should_log("T", 1, "f", W)
+        assert f.stats.logged == 2
+        assert f.stats.elided == 1

@@ -1,0 +1,108 @@
+"""SCC detection over transaction graphs."""
+
+from repro.core.scc import is_cyclic_component, scc_containing
+from repro.core.transactions import IdgEdge, Transaction
+
+
+def make_txs(n, thread_prefix="T"):
+    txs = [
+        Transaction(i + 1, f"{thread_prefix}{i + 1}", f"m{i + 1}", False)
+        for i in range(n)
+    ]
+    for tx in txs:
+        tx.finished = True
+    return txs
+
+
+def connect(src, dst, order=None):
+    edge = IdgEdge(src, dst, "test", order or (src.tx_id * 100 + dst.tx_id))
+    src.out_edges.append(edge)
+    dst.in_edges.append(edge)
+
+
+def test_acyclic_node_is_singleton():
+    a, b = make_txs(2)
+    connect(a, b)
+    assert scc_containing(a) == [a]
+    assert not is_cyclic_component(scc_containing(a))
+
+
+def test_two_cycle():
+    a, b = make_txs(2)
+    connect(a, b)
+    connect(b, a)
+    component = scc_containing(a)
+    assert set(component) == {a, b}
+    assert is_cyclic_component(component)
+
+
+def test_cycle_through_intra_edges():
+    """A cycle can pass through a thread's intra-transaction chain."""
+    a1, a2, b = make_txs(3)
+    a1.thread_name = a2.thread_name = "TA"
+    a1.intra_next = a2
+    a2.intra_prev = a1
+    connect(a2, b)
+    connect(b, a1)
+    component = scc_containing(b)
+    assert set(component) == {a1, a2, b}
+
+
+def test_unfinished_transactions_not_explored():
+    a, b, c = make_txs(3)
+    connect(a, b)
+    connect(b, c)
+    connect(c, a)
+    b.finished = False
+    component = scc_containing(a)
+    assert component == [a]  # the cycle is invisible until b finishes
+
+
+def test_collected_transactions_not_explored():
+    a, b = make_txs(2)
+    connect(a, b)
+    connect(b, a)
+    b.collected = True
+    assert scc_containing(a) == [a]
+
+
+def test_maximal_component_not_just_one_cycle():
+    """Two overlapping cycles form one SCC."""
+    a, b, c = make_txs(3)
+    connect(a, b)
+    connect(b, a)
+    connect(b, c)
+    connect(c, b)
+    assert set(scc_containing(a)) == {a, b, c}
+
+
+def test_nested_graph_outside_scc_excluded():
+    a, b, c, d = make_txs(4)
+    connect(a, b)
+    connect(b, a)
+    connect(b, c)  # c, d reachable but not in the SCC
+    connect(c, d)
+    assert set(scc_containing(a)) == {a, b}
+
+
+def test_long_cycle():
+    txs = make_txs(12)
+    for i in range(12):
+        connect(txs[i], txs[(i + 1) % 12])
+    assert set(scc_containing(txs[5])) == set(txs)
+
+
+def test_self_component_root_unfinished():
+    (a,) = make_txs(1)
+    a.finished = False
+    assert scc_containing(a) == [a]
+
+
+def test_deep_chain_does_not_recurse():
+    """The iterative Tarjan handles chains far beyond Python's
+    recursion limit."""
+    txs = make_txs(5000)
+    for i in range(4999):
+        connect(txs[i], txs[i + 1])
+    connect(txs[-1], txs[0])  # one huge cycle
+    assert len(scc_containing(txs[0])) == 5000

@@ -1,0 +1,51 @@
+"""Static transaction information (multi-run mode's hand-off)."""
+
+from repro.core.static_info import StaticTransactionInfo
+from repro.core.transactions import Transaction
+
+
+def tx(tx_id, method, unary=False, thread="T1"):
+    return Transaction(tx_id, thread, method, unary)
+
+
+def test_from_components_collects_methods_and_unary_flag():
+    info = StaticTransactionInfo.from_components(
+        [[tx(1, "a"), tx(2, "<unary>", unary=True)], [tx(3, "b")]]
+    )
+    assert info.methods == frozenset({"a", "b"})
+    assert info.any_unary
+
+
+def test_no_unary_flag_without_unary_members():
+    info = StaticTransactionInfo.from_components([[tx(1, "a")]])
+    assert not info.any_unary
+
+
+def test_union():
+    a = StaticTransactionInfo(frozenset({"x"}), False)
+    b = StaticTransactionInfo(frozenset({"y"}), True)
+    combined = a.union(b)
+    assert combined.methods == frozenset({"x", "y"})
+    assert combined.any_unary
+
+
+def test_union_all_empty():
+    assert StaticTransactionInfo.union_all([]).is_empty()
+
+
+def test_monitors_method():
+    info = StaticTransactionInfo(frozenset({"x"}), False)
+    assert info.monitors_method("x")
+    assert not info.monitors_method("y")
+
+
+def test_json_roundtrip():
+    info = StaticTransactionInfo(frozenset({"b", "a"}), True)
+    parsed = StaticTransactionInfo.from_json(info.to_json())
+    assert parsed == info
+
+
+def test_empty():
+    info = StaticTransactionInfo.empty()
+    assert info.is_empty()
+    assert not info.monitors_method("anything")

@@ -1,0 +1,201 @@
+"""Transaction demarcation and unary merging."""
+
+import itertools
+
+import pytest
+
+from repro.core.transactions import (
+    IdgEdge,
+    Transaction,
+    TransactionManager,
+    UNARY_METHOD,
+)
+from repro.runtime.events import AccessEvent, AccessKind, Site
+from repro.runtime.heap import Heap
+from repro.spec.specification import AtomicitySpecification
+
+_seq = itertools.count(1)
+
+
+def make_spec(atomic=("atomic_m",), extra=("other",)):
+    methods = frozenset(atomic) | frozenset(extra) | {"entry"}
+    excluded = methods - frozenset(atomic)
+    return AtomicitySpecification(methods, excluded)
+
+
+def access(thread="T1", fieldname="f", kind=AccessKind.READ, obj=None):
+    obj = obj if obj is not None else Heap().alloc("o")
+    return AccessEvent(
+        seq=next(_seq),
+        thread_name=thread,
+        obj=obj,
+        fieldname=fieldname,
+        kind=kind,
+        is_sync=False,
+        is_array=False,
+        site=Site("m", 0),
+    )
+
+
+class TestRegularDemarcation:
+    def test_atomic_method_starts_regular_transaction(self):
+        manager = TransactionManager(make_spec())
+        manager.on_method_enter("T1", "atomic_m", 1)
+        tx = manager.transaction_for_access(access())
+        assert tx is not None and not tx.is_unary
+        assert tx.method == "atomic_m"
+
+    def test_non_atomic_method_does_not(self):
+        manager = TransactionManager(make_spec())
+        manager.on_method_enter("T1", "other", 1)
+        tx = manager.transaction_for_access(access())
+        assert tx.is_unary
+
+    def test_nested_atomic_methods_merge_into_outermost(self):
+        manager = TransactionManager(make_spec(atomic=("outer", "inner")))
+        manager.on_method_enter("T1", "outer", 1)
+        outer_tx = manager.transaction_for_access(access())
+        manager.on_method_enter("T1", "inner", 2)
+        inner_tx = manager.transaction_for_access(access())
+        assert inner_tx is outer_tx
+        manager.on_method_exit("T1", "inner", 2)
+        # still inside the outer transaction
+        assert manager.transaction_for_access(access()) is outer_tx
+        manager.on_method_exit("T1", "outer", 1)
+        assert outer_tx.finished
+
+    def test_non_atomic_callee_inherits_callers_transaction(self):
+        manager = TransactionManager(make_spec())
+        manager.on_method_enter("T1", "atomic_m", 1)
+        tx = manager.transaction_for_access(access())
+        manager.on_method_enter("T1", "other", 2)
+        assert manager.transaction_for_access(access()) is tx
+
+    def test_transaction_ends_at_matching_exit_only(self):
+        manager = TransactionManager(make_spec(atomic=("atomic_m",)))
+        manager.on_method_enter("T1", "atomic_m", 3)
+        tx = manager.transaction_for_access(access())
+        manager.on_method_exit("T1", "other", 4)   # unrelated frame
+        assert not tx.finished
+        manager.on_method_exit("T1", "atomic_m", 3)
+        assert tx.finished
+
+    def test_recursive_atomic_method(self):
+        manager = TransactionManager(make_spec())
+        manager.on_method_enter("T1", "atomic_m", 1)
+        tx = manager.transaction_for_access(access())
+        manager.on_method_enter("T1", "atomic_m", 2)  # recursion
+        assert manager.transaction_for_access(access()) is tx
+        manager.on_method_exit("T1", "atomic_m", 2)
+        assert not tx.finished
+        manager.on_method_exit("T1", "atomic_m", 1)
+        assert tx.finished
+
+    def test_end_callback_fires(self):
+        ended = []
+        manager = TransactionManager(make_spec(), on_transaction_end=ended.append)
+        manager.on_method_enter("T1", "atomic_m", 1)
+        manager.transaction_for_access(access())
+        manager.on_method_exit("T1", "atomic_m", 1)
+        assert len(ended) == 1 and ended[0].method == "atomic_m"
+
+
+class TestUnaryMerging:
+    def test_consecutive_unary_accesses_merge(self):
+        manager = TransactionManager(make_spec())
+        tx1 = manager.transaction_for_access(access())
+        tx2 = manager.transaction_for_access(access())
+        assert tx1 is tx2
+        assert tx1.method == UNARY_METHOD
+        assert manager.stats.unary_transactions == 1
+
+    def test_edge_touch_splits_unary_transactions(self):
+        manager = TransactionManager(make_spec())
+        tx1 = manager.transaction_for_access(access())
+        tx1.edge_touched = True
+        tx2 = manager.transaction_for_access(access())
+        assert tx2 is not tx1
+        assert tx1.finished
+
+    def test_regular_transaction_closes_running_unary(self):
+        manager = TransactionManager(make_spec())
+        unary = manager.transaction_for_access(access())
+        manager.on_method_enter("T1", "atomic_m", 1)
+        regular = manager.transaction_for_access(access())
+        assert unary.finished
+        assert not regular.is_unary
+
+    def test_intra_thread_chain_links(self):
+        manager = TransactionManager(make_spec())
+        unary = manager.transaction_for_access(access())
+        unary.edge_touched = True
+        second = manager.transaction_for_access(access())
+        assert unary.intra_next is second
+        assert second.intra_prev is unary
+
+
+class TestMonitoringFilters:
+    def test_unmonitored_regular_accesses_skipped(self):
+        manager = TransactionManager(
+            make_spec(), monitor_regular=lambda m: False
+        )
+        manager.on_method_enter("T1", "atomic_m", 1)
+        assert manager.transaction_for_access(access()) is None
+        assert manager.stats.skipped_accesses == 1
+        assert manager.stats.unmonitored_transactions == 1
+        assert manager.stats.regular_transactions == 0
+
+    def test_unary_monitoring_disabled(self):
+        manager = TransactionManager(make_spec(), monitor_unary=False)
+        assert manager.transaction_for_access(access()) is None
+        assert manager.stats.skipped_accesses == 1
+
+    def test_monitored_methods_pass(self):
+        manager = TransactionManager(
+            make_spec(), monitor_regular=lambda m: m == "atomic_m"
+        )
+        manager.on_method_enter("T1", "atomic_m", 1)
+        assert manager.transaction_for_access(access()) is not None
+
+
+class TestThreadLifecycle:
+    def test_thread_end_closes_transaction(self):
+        manager = TransactionManager(make_spec())
+        tx = manager.transaction_for_access(access())
+        manager.on_thread_end("T1")
+        assert tx.finished
+
+    def test_finish_all(self):
+        manager = TransactionManager(make_spec())
+        a = manager.transaction_for_access(access(thread="T1"))
+        b = manager.transaction_for_access(access(thread="T2"))
+        manager.finish_all()
+        assert a.finished and b.finished
+
+    def test_current_or_latest(self):
+        manager = TransactionManager(make_spec())
+        assert manager.current_or_latest("T1") is None
+        tx = manager.transaction_for_access(access())
+        assert manager.current_or_latest("T1") is tx
+        manager.on_thread_end("T1")
+        assert manager.current_or_latest("T1") is tx  # latest, finished
+
+
+class TestTransactionStructure:
+    def test_successors_include_cross_and_intra(self):
+        a = Transaction(1, "T1", "m", False)
+        b = Transaction(2, "T1", "m", False)
+        c = Transaction(3, "T2", "m", False)
+        a.intra_next = b
+        edge = IdgEdge(a, c, "conflicting", 1)
+        a.out_edges.append(edge)
+        c.in_edges.append(edge)
+        assert set(a.successors()) == {b, c}
+
+    def test_has_cross_edges(self):
+        a = Transaction(1, "T1", "m", False)
+        assert not a.has_cross_edges()
+        b = Transaction(2, "T2", "m", False)
+        edge = IdgEdge(a, b, "x", 1)
+        b.in_edges.append(edge)
+        assert b.has_cross_edges()

@@ -1,0 +1,86 @@
+"""The cost model: breakdowns, monotonicity, calibration anchors."""
+
+import pytest
+
+from repro.core.doublechecker import DoubleChecker
+from repro.costs.model import CostBreakdown, CostModel, CostWeights
+from repro.runtime.scheduler import RandomScheduler
+from repro.velodrome.checker import VelodromeChecker
+
+from tests.util import counter_program, spec_for
+
+
+def scheduler(seed=1):
+    return RandomScheduler(seed=seed, switch_prob=0.6)
+
+
+@pytest.fixture(scope="module")
+def results():
+    model = CostModel()
+    program = counter_program(threads=3, iterations=20)
+    velodrome = VelodromeChecker(spec_for(program)).run(program, scheduler())
+
+    program = counter_program(threads=3, iterations=20)
+    checker = DoubleChecker(spec_for(program))
+    single = checker.run_single(program, scheduler())
+
+    program = counter_program(threads=3, iterations=20)
+    first = DoubleChecker(spec_for(program)).run_first(program, scheduler())
+    return model, velodrome, single, first
+
+
+class TestBreakdowns:
+    def test_velodrome_breakdown(self, results):
+        model, velodrome, _, _ = results
+        breakdown = model.velodrome(velodrome)
+        assert breakdown.normalized_time > 1.0
+        assert "synchronization" in breakdown.components
+        # Section 5.3: synchronization dominates Velodrome's overhead
+        assert breakdown.component_fraction("synchronization") > 0.5
+
+    def test_single_breakdown_components(self, results):
+        model, _, single, _ = results
+        breakdown = model.double_checker_single(single)
+        for key in ("octet", "idg", "logging", "pcd", "gc"):
+            assert key in breakdown.components
+        assert breakdown.normalized_time > 1.0
+
+    def test_first_run_cheaper_than_single(self, results):
+        model, _, single, first = results
+        single_norm = model.double_checker_single(single).normalized_time
+        first_norm = model.double_checker_first(first).normalized_time
+        assert first_norm < single_norm
+
+    def test_gc_fraction_bounded(self, results):
+        model, _, single, _ = results
+        fraction = model.double_checker_single(single).gc_fraction
+        assert 0.0 <= fraction < 1.0
+
+    def test_no_logging_means_no_logging_cost(self, results):
+        model, _, _, first = results
+        breakdown = model.double_checker_first(first)
+        assert "logging" not in breakdown.components
+
+
+class TestWeights:
+    def test_custom_weights_respected(self, results):
+        _, velodrome, _, _ = results
+        cheap = CostModel(CostWeights(atomic_op=0.0, fence=0.0))
+        expensive = CostModel(CostWeights(atomic_op=100.0, fence=50.0))
+        assert (
+            cheap.velodrome(velodrome).normalized_time
+            < expensive.velodrome(velodrome).normalized_time
+        )
+
+    def test_weights_are_immutable(self):
+        with pytest.raises(AttributeError):
+            CostWeights().atomic_op = 1.0
+
+    def test_breakdown_arithmetic(self):
+        breakdown = CostBreakdown(base_units=100.0)
+        breakdown.components["a"] = 50.0
+        breakdown.components["b"] = 50.0
+        assert breakdown.overhead_units == 100.0
+        assert breakdown.total_units == 200.0
+        assert breakdown.normalized_time == 2.0
+        assert breakdown.component_fraction("a") == 0.5

@@ -1,0 +1,55 @@
+"""The CLI front end across experiments (small benchmark subsets)."""
+
+import pytest
+
+from repro.harness import runner
+from repro.harness.cli import EXPERIMENTS, main
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches(tmp_path, monkeypatch):
+    monkeypatch.setattr(runner, "CACHE_DIR", str(tmp_path))
+    runner._FINAL_SPEC_MEMO.clear()
+    yield
+    runner._FINAL_SPEC_MEMO.clear()
+
+
+def test_experiment_registry_is_complete():
+    assert set(EXPERIMENTS) == {
+        "table2",
+        "table3",
+        "figure7",
+        "unsound",
+        "refinement-phases",
+        "arrays",
+        "pcd-only",
+        "second-run-variants",
+    }
+
+
+@pytest.mark.parametrize(
+    "experiment",
+    ["table3", "figure7", "unsound", "arrays", "second-run-variants"],
+)
+def test_each_experiment_runs_via_cli(experiment, capsys):
+    code = main([experiment, "--names", "hedc"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hedc" in out
+
+
+def test_out_directory_receives_files(tmp_path, capsys):
+    main(["table3", "--names", "hedc", "--out", str(tmp_path / "r")])
+    assert (tmp_path / "r" / "table3.txt").exists()
+
+
+def test_pcd_only_via_cli(capsys):
+    code = main(["pcd-only", "--names", "hedc"])
+    assert code == 0
+    assert "PCD-only" in capsys.readouterr().out
+
+
+def test_refinement_phases_via_cli(capsys):
+    code = main(["refinement-phases", "--names", "hedc"])
+    assert code == 0
+    assert "refinement" in capsys.readouterr().out.lower()

@@ -1,0 +1,117 @@
+"""The experiment generators, on small benchmark subsets."""
+
+import pytest
+
+from repro.harness import figure7, runner, section54, table2, table3
+
+SMALL = ["hedc", "elevator"]
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches(tmp_path, monkeypatch):
+    monkeypatch.setattr(runner, "CACHE_DIR", str(tmp_path))
+    runner._FINAL_SPEC_MEMO.clear()
+    yield
+    runner._FINAL_SPEC_MEMO.clear()
+
+
+class TestTable2:
+    def test_generates_rows_and_totals(self):
+        result = table2.generate(SMALL, trials_per_step=2)
+        assert [r.name for r in result.rows] == SMALL
+        totals = result.totals()
+        assert totals["single_total"] >= 1  # hedc/elevator have bugs
+        assert 0.0 <= result.multi_detection_rate() <= 1.0
+
+    def test_render(self):
+        text = table2.generate(["hedc"], trials_per_step=2).render()
+        assert "Table 2" in text
+        assert "hedc" in text
+        assert "Total" in text
+
+
+class TestTable3:
+    def test_characteristics_columns(self):
+        result = table3.generate(SMALL, trials=1, first_trials=1)
+        row = result.rows[0]
+        assert row.single.regular_transactions > 0
+        # the second run instruments at most what single-run does
+        assert (
+            row.second.regular_transactions
+            <= row.single.regular_transactions
+        )
+        assert "Table 3" in result.render()
+
+
+class TestFigure7:
+    def test_rows_and_geomeans(self):
+        result = figure7.generate(SMALL, trials=1, first_trials=1)
+        means = result.geomeans()
+        # the paper's ordering: first < second <= single < velodrome
+        assert means["first"] < means["single"]
+        assert means["first"] <= means["second"] <= means["single"] * 1.5
+        assert means["single"] < means["velodrome"]
+        assert "Figure 7" in result.render()
+
+    def test_all_configs_have_bars(self):
+        result = figure7.generate(["hedc"], trials=1, first_trials=1)
+        row = result.rows[0]
+        for config in figure7.CONFIGS:
+            assert row.normalized[config] >= 1.0
+
+
+class TestSection54:
+    def test_unsound_velodrome_cheaper(self):
+        result = section54.unsound_velodrome(SMALL, trials=1)
+        sound, unsound = result.geomeans()
+        assert unsound < sound
+        assert "unsound" in result.render().lower()
+
+    def test_refinement_phases_monotone_spec(self):
+        result = section54.refinement_phases(["hedc"], trials=1)
+        start, half, final = result.geomeans()
+        assert all(v >= 1.0 for v in (start, half, final))
+        assert "refinement" in result.render().lower()
+
+    def test_arrays_add_overhead(self):
+        result = section54.arrays(["hedc"], trials=1)
+        dc, dc_arrays, vel, vel_arrays = result.geomeans()
+        assert dc_arrays >= dc
+        assert vel_arrays >= vel
+        assert "xalan6" not in result.rows
+
+    def test_pcd_only_slower(self):
+        result = section54.pcd_only(["hedc"], pcd_memory_budget=10_000_000)
+        single, pcd = result.geomeans()
+        assert pcd > single
+        assert "PCD-only" in result.render()
+
+    def test_pcd_only_oom_reported(self):
+        result = section54.pcd_only(["elevator"], pcd_memory_budget=10)
+        assert result.oom == ["elevator"]
+        assert "OOM" in result.render()
+
+    def test_second_run_variants_ordering(self):
+        result = section54.second_run_variants(
+            ["hedc"], trials=1, first_trials=1
+        )
+        second, always, velodrome_second = result.rows["hedc"]
+        assert always >= second  # conditional instrumentation helps
+        assert "second" in result.render().lower()
+
+
+class TestCli:
+    def test_cli_table2(self, capsys, tmp_path):
+        from repro.harness.cli import main
+
+        code = main(["table2", "--names", "hedc", "--out", str(tmp_path)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Table 2" in captured.out
+        assert (tmp_path / "table2.txt").exists()
+
+    def test_cli_rejects_unknown_experiment(self):
+        from repro.harness.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

@@ -1,0 +1,60 @@
+"""Violation explanations."""
+
+from repro.core.reports import ViolationRecord, ViolationSummary
+from repro.harness.explain import explain_summary, explain_violation
+
+
+def record(method="update", size=2):
+    methods = tuple([method] + ["other"] * (size - 1))
+    return ViolationRecord(
+        blamed_method=method,
+        blamed_tx_id=1,
+        thread_name="T1",
+        cycle_methods=methods,
+        cycle_tx_ids=tuple(range(1, size + 1)),
+        detector="pcd",
+    )
+
+
+def test_explains_two_cycle():
+    text = explain_violation(record(size=2))
+    assert "update" in text
+    assert "split update" in text
+    assert "Tx1" in text and "Tx2" in text
+
+
+def test_explains_longer_cycle():
+    text = explain_violation(record(size=4))
+    assert "multi-party" in text
+    assert "4 transactions" in text
+
+
+def test_summary_groups_by_method():
+    summary = ViolationSummary()
+    summary.add(record("a"))
+    summary.add(record("a", size=3))
+    summary.add(record("b"))
+    text = explain_summary(summary)
+    assert "2 non-atomic method(s), 3 dynamic cycle(s)" in text
+    assert "a: 2 cycle(s)" in text
+    assert "b: 1 cycle(s)" in text
+
+
+def test_empty_summary():
+    assert "no atomicity violations" in explain_summary(ViolationSummary())
+
+
+def test_end_to_end_explanation():
+    from repro.core.doublechecker import DoubleChecker
+    from repro.runtime.scheduler import RandomScheduler
+
+    import sys, os
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", ".."))
+    from tests.util import counter_program, spec_for
+
+    program = counter_program(threads=2, iterations=10)
+    result = DoubleChecker(spec_for(program)).run_single(
+        program, RandomScheduler(seed=4, switch_prob=0.7)
+    )
+    text = explain_summary(result.violations)
+    assert "rmw" in text

@@ -1,0 +1,41 @@
+"""Text-table rendering."""
+
+from repro.harness.rendering import render_table
+
+
+def test_basic_table():
+    text = render_table(["name", "value"], [["a", 1], ["bb", 22]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "22" in lines[-1]
+
+
+def test_title_and_rule():
+    text = render_table(["h"], [["x"]], title="My Table")
+    lines = text.splitlines()
+    assert lines[0] == "My Table"
+    assert set(lines[1]) == {"="}
+
+
+def test_alignment():
+    text = render_table(["name", "n"], [["a", 1], ["long-name", 22]])
+    lines = text.splitlines()
+    # numbers right-aligned: the last characters of both data rows align
+    assert lines[-1].endswith("22")
+    assert lines[-2].endswith(" 1")
+
+
+def test_float_formatting():
+    text = render_table(["name", "x"], [["a", 3.14159]])
+    assert "3.14" in text and "3.1416" not in text
+
+
+def test_none_rendered_as_dash():
+    assert "-" in render_table(["a", "b"], [["x", None]]).splitlines()[-1]
+
+
+def test_multiple_left_columns():
+    text = render_table(
+        ["a", "b", "n"], [["x", "y", 1]], align_left_columns=2
+    )
+    assert text.splitlines()[-1].startswith("x")

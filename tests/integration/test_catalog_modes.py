@@ -1,0 +1,76 @@
+"""Cross-mode integration on catalog workloads.
+
+These tests run the complete mode pipelines on real catalog benchmarks
+(not toy programs), pinning the relationships the paper's evaluation
+rests on.
+"""
+
+import pytest
+
+from repro.core.doublechecker import DoubleChecker
+from repro.harness.runner import initial_spec, make_scheduler
+from repro.velodrome.checker import VelodromeChecker
+from repro.workloads import build
+
+
+@pytest.mark.parametrize("name", ["hsqldb6", "lusearch9"])
+def test_multi_run_pipeline_on_catalog(name):
+    spec = initial_spec(name)
+    checker = DoubleChecker(spec)
+    result = checker.run_multi(
+        lambda: build(name),
+        first_trials=3,
+        scheduler_factory=lambda t: make_scheduler(400 + t),
+        second_scheduler=make_scheduler(499),
+    )
+    # first runs never log
+    assert all(r.icd_stats.log_entries == 0 for r in result.first_runs)
+    # the second run's static filter is the union of the first runs'
+    union = set()
+    for first in result.first_runs:
+        union |= first.static_info.methods
+    assert result.static_info.methods == frozenset(union)
+
+
+@pytest.mark.parametrize("name", ["eclipse6", "xalan9"])
+def test_single_run_superset_of_second_run_detection(name):
+    """On the same schedule, the (restricted) second run can only find
+    violations single-run mode also finds."""
+    spec = initial_spec(name)
+    checker = DoubleChecker(spec)
+    info = checker.run_first(build(name), make_scheduler(11)).static_info
+    single = checker.run_single(build(name), make_scheduler(12))
+    second = checker.run_second(build(name), info, make_scheduler(12))
+    assert second.blamed_methods <= single.blamed_methods | {"<unary>"}
+
+
+def test_velodrome_and_single_run_verdicts_on_catalog():
+    """Same-schedule verdict agreement on a real workload."""
+    name = "montecarlo"
+    spec = initial_spec(name)
+    for seed in (21, 22, 23):
+        velodrome = VelodromeChecker(spec).run(build(name), make_scheduler(seed))
+        single = DoubleChecker(spec).run_single(build(name), make_scheduler(seed))
+        assert bool(velodrome.violations) == bool(single.violations), seed
+
+
+def test_second_run_cheaper_than_single_run_on_disjoint():
+    """For a disjoint benchmark the first run finds nothing and the
+    second run instruments nothing at all."""
+    name = "pmd9"
+    spec = initial_spec(name)
+    checker = DoubleChecker(spec)
+    info = checker.run_first(build(name), make_scheduler(31)).static_info
+    assert info.is_empty()
+    second = checker.run_second(build(name), info, make_scheduler(32))
+    assert second.icd_stats.instrumented_accesses == 0
+
+
+def test_out_of_memory_error_reports_component():
+    from repro.errors import OutOfMemoryBudget
+
+    spec = initial_spec("avrora9")
+    checker = DoubleChecker(spec, icd_memory_budget=100, gc_interval=None)
+    with pytest.raises(OutOfMemoryBudget) as info:
+        checker.run_single(build("avrora9"), make_scheduler(5))
+    assert info.value.component == "ICD"

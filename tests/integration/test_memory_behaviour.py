@@ -1,0 +1,98 @@
+"""Memory-behaviour fidelity: the paper's out-of-memory stories.
+
+Section 5.1 adjusts its methodology repeatedly around memory: PCD
+exhausts memory on long-running transactions (raytracer, sunflow9);
+single-run mode exhausts memory on large inputs; the PCD-only variant
+exhausts it on four benchmarks.  These tests pin the mechanisms that
+reproduce those behaviours.
+"""
+
+import pytest
+
+from repro.core.doublechecker import DoubleChecker
+from repro.errors import OutOfMemoryBudget
+from repro.harness.runner import initial_spec, make_scheduler
+from repro.workloads import build, get_spec
+
+
+class TestLongTransactionHazard:
+    def test_sunflow9_long_transaction_overwhelms_pcd(self):
+        """With render_scene in the spec, its single transaction's log
+        exceeds a budget that all normal components respect; with the
+        paper's adjustment (exclude it), the same budget always holds."""
+        from repro.spec.specification import AtomicitySpecification
+
+        # adjusted spec (the paper's methodology): always clean
+        for seed in range(4):
+            checker = DoubleChecker(
+                initial_spec("sunflow9"), pcd_memory_budget=2_000
+            )
+            checker.run_single(build("sunflow9"), make_scheduler(seed))
+
+        # full spec: the hazard fires on some schedule
+        oomed = False
+        for seed in range(8):
+            program = build("sunflow9")
+            full_spec = AtomicitySpecification.initial(program)
+            assert full_spec.is_atomic("render_scene")
+            hazard = DoubleChecker(full_spec, pcd_memory_budget=2_000)
+            try:
+                hazard.run_single(program, make_scheduler(seed))
+            except OutOfMemoryBudget as error:
+                assert error.component == "PCD"
+                oomed = True
+                break
+        assert oomed, "the sunflow9 hazard never fired"
+
+    def test_long_transaction_log_dominates(self):
+        from repro.core.icd import ICD
+        from repro.runtime.executor import Executor
+        from repro.spec.specification import AtomicitySpecification
+
+        program = build("raytracer")
+        spec = AtomicitySpecification.initial(program)
+        icd = ICD(spec, gc_interval=None)
+        Executor(program, make_scheduler(3), [icd]).run()
+        logs = sorted(
+            (len(tx.log) for tx in icd.tx_manager.all_transactions if tx.log),
+            reverse=True,
+        )
+        # the render_scene transaction's log dwarfs the runner-up (the
+        # duplicate-elision optimization caps it at one entry per
+        # distinct field per edge-free window, so "dwarfs" is ~one
+        # order of magnitude rather than the raw iteration count)
+        assert logs[0] > 5 * logs[1]
+
+
+class TestGcFootprint:
+    def test_collection_bounds_peak_live_logs(self):
+        spec = initial_spec("eclipse6")
+        with_gc = DoubleChecker(spec, gc_interval=16).run_single(
+            build("eclipse6"), make_scheduler(7)
+        )
+        without_gc = DoubleChecker(spec, gc_interval=None).run_single(
+            build("eclipse6"), make_scheduler(7)
+        )
+        total = without_gc.icd_stats.log_entries + without_gc.icd_stats.log_marks
+        assert with_gc.gc_stats.peak_live_log_entries < total
+        assert with_gc.gc_stats.transactions_collected > 0
+
+    def test_first_run_has_no_log_footprint(self):
+        spec = initial_spec("eclipse6")
+        first = DoubleChecker(spec).run_first(build("eclipse6"), make_scheduler(7))
+        assert first.icd_stats.log_entries == 0
+        assert first.icd_stats.live_log_entry_integral == 0
+
+    def test_live_log_integral_orders_the_modes(self):
+        """The GC-pressure integral: collected single-run << PCD-only."""
+        spec = initial_spec("hsqldb6")
+        single = DoubleChecker(spec, gc_interval=16).run_single(
+            build("hsqldb6"), make_scheduler(9)
+        )
+        pcd_only = DoubleChecker(spec, gc_interval=None).run_pcd_only(
+            build("hsqldb6"), make_scheduler(9)
+        )
+        assert (
+            pcd_only.icd_stats.live_log_entry_integral
+            > 2 * single.icd_stats.live_log_entry_integral
+        )

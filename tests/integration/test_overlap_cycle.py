@@ -1,0 +1,84 @@
+"""Mixed program-order/dependence cycles (the overlap bug).
+
+A transaction ``B`` that overlaps two transactions ``A1 → A2`` of
+another thread — writing what ``A1`` reads before reading what ``A2``
+writes — is non-serializable through a cycle that *includes an
+intra-thread edge*: ``B → A1 → A2 → B``.  This shape regression-tests
+PCD's program-order edges (an early version only tracked cross-thread
+edges and missed it; Velodrome caught it, breaking the checkers'
+agreement).
+"""
+
+import pytest
+
+from repro.core.doublechecker import DoubleChecker
+from repro.runtime.ops import Compute, Invoke, Read, Write
+from repro.runtime.program import Program
+from repro.runtime.scheduler import ScriptedScheduler
+from repro.spec.specification import AtomicitySpecification
+from repro.velodrome.checker import VelodromeChecker
+
+
+def build():
+    program = Program("overlap")
+    x = program.add_global_object("x")
+    y = program.add_global_object("y")
+
+    def a_entry(ctx):
+        yield Invoke("a_read_x")
+        yield Invoke("a_write_y")
+
+    def a_read_x(ctx):
+        yield Read(x, "f")
+
+    def a_write_y(ctx):
+        yield Write(y, "f", 1)
+
+    def b_whole(ctx):
+        yield Write(x, "f", 2)     # before A1 reads x: edge B -> A1
+        yield Compute(1)
+        yield Read(y, "f")         # after A2 writes y: edge A2 -> B
+
+    def b_entry(ctx):
+        yield Invoke("b_whole")
+
+    for name, body in [
+        ("a_entry", a_entry), ("a_read_x", a_read_x),
+        ("a_write_y", a_write_y), ("b_whole", b_whole),
+        ("b_entry", b_entry),
+    ]:
+        program.method(body, name=name)
+    program.add_thread("A", "a_entry")
+    program.add_thread("B", "b_entry")
+    program.mark_entry("a_entry")
+    program.mark_entry("b_entry")
+    return program
+
+
+# B starts, writes x; A runs completely (both transactions); B resumes
+SCRIPT = ["B"] * 4 + ["A"] * 14 + ["B"] * 6
+
+
+def test_doublechecker_finds_the_overlap_cycle():
+    program = build()
+    spec = AtomicitySpecification.initial(program)
+    result = DoubleChecker(spec).run_single(program, ScriptedScheduler(SCRIPT))
+    assert result.blamed_methods == {"b_whole"}
+    cycle = result.violations.records[0]
+    # the cycle spans both of A's transactions plus B
+    assert set(cycle.cycle_methods) == {"a_read_x", "a_write_y", "b_whole"}
+
+
+def test_agrees_with_velodrome_on_overlap():
+    spec = AtomicitySpecification.initial(build())
+    velodrome = VelodromeChecker(spec).run(build(), ScriptedScheduler(SCRIPT))
+    double = DoubleChecker(spec).run_single(build(), ScriptedScheduler(SCRIPT))
+    assert velodrome.blamed_methods == double.blamed_methods == {"b_whole"}
+
+
+def test_no_cycle_when_b_does_not_overlap():
+    """If B runs entirely before A, the same accesses are serializable."""
+    serial = ["B"] * 10 + ["A"] * 14
+    spec = AtomicitySpecification.initial(build())
+    result = DoubleChecker(spec).run_single(build(), ScriptedScheduler(serial))
+    assert result.blamed_methods == set()

@@ -1,0 +1,134 @@
+"""The future-work extension: site-selective unary instrumentation.
+
+Section 5.3 closes with the observation that the first run's unary
+information is "even coarser" than its method-level information — a
+single boolean forcing the second run to instrument *all*
+non-transactional accesses in most benchmarks — and names more precise
+first→second-run communication as a promising direction.  The
+extension implemented in :mod:`repro.core.static_info` records the
+enclosing methods of in-cycle unary accesses; these tests verify it
+reduces instrumentation without losing the violations those unary
+accesses participate in.
+"""
+
+import pytest
+
+from repro.core.doublechecker import DoubleChecker
+from repro.runtime.ops import Compute, Invoke, Read, Write
+from repro.runtime.program import Program
+from repro.runtime.scheduler import RandomScheduler
+from repro.spec.specification import AtomicitySpecification
+
+
+def build():
+    """One violating atomic method racing against *unary* accesses from
+    `poker`, plus heavy unary traffic in an unrelated method `churner`
+    that selective instrumentation should skip."""
+    program = Program("selective")
+    shared = program.add_global_object("shared")
+    private = program.add_global_objects("private", 4)
+
+    def rmw(ctx):
+        value = yield Read(shared, "x")
+        yield Compute(2)
+        yield Write(shared, "x", (value or 0) + 1)
+
+    def poker(ctx, tid):
+        # unary accesses racing with rmw (these join cycles)
+        for _ in range(15):
+            value = yield Read(shared, "x")
+            yield Write(shared, "x", (value or 0) + 1)
+            yield Invoke("rmw")
+
+    def churner(ctx, tid):
+        # heavy unary traffic on private data (never in cycles)
+        target = private[tid % len(private)]
+        for i in range(60):
+            value = yield Read(target, f"f{i % 3}")
+            yield Write(target, f"f{i % 3}", (value or 0) + 1)
+
+    def worker(ctx, tid):
+        yield Invoke("poker", (tid,))
+        yield Invoke("churner", (tid,))
+
+    program.method(rmw, name="rmw")
+    program.method(poker, name="poker")
+    program.method(churner, name="churner")
+    program.method(worker, name="worker")
+    for name in ("poker", "churner", "worker"):
+        program.mark_entry(name)
+    for t in range(3):
+        program.add_thread(f"T{t}", "worker", (t,))
+    return program
+
+
+def scheduler(seed):
+    return RandomScheduler(seed=seed, switch_prob=0.7)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    spec = AtomicitySpecification.initial(build())
+    checker = DoubleChecker(spec)
+    info = None
+    for trial in range(4):
+        first = checker.run_first(
+            build(), scheduler(trial), track_unary_sites=True
+        )
+        info = (
+            first.static_info
+            if info is None
+            else info.union(first.static_info)
+        )
+    baseline = checker.run_second(build(), info, scheduler(99))
+    selective = checker.run_second(
+        build(), info, scheduler(99), selective_unary=True
+    )
+    return info, baseline, selective
+
+
+def test_first_run_records_unary_sites(runs):
+    info, _baseline, _selective = runs
+    assert info.any_unary
+    # the racing unary accesses live in poker; churner may occasionally
+    # be swept in when a merged unary transaction spans both methods,
+    # but the set must stay a strict subset of all methods
+    assert "poker" in info.unary_methods
+    assert "worker" not in info.unary_methods
+
+
+def test_selective_run_instruments_less(runs):
+    _info, baseline, selective = runs
+    assert (
+        selective.tx_stats.unary_accesses < baseline.tx_stats.unary_accesses
+    )
+    assert selective.tx_stats.skipped_accesses > baseline.tx_stats.skipped_accesses
+
+
+def test_selective_run_preserves_detection(runs):
+    _info, baseline, selective = runs
+    assert baseline.blamed_methods
+    assert selective.blamed_methods == baseline.blamed_methods
+
+
+def test_info_round_trips_unary_methods():
+    from repro.core.static_info import StaticTransactionInfo
+
+    info = StaticTransactionInfo(
+        frozenset({"m"}), True, frozenset({"poker"})
+    )
+    parsed = StaticTransactionInfo.from_json(info.to_json())
+    assert parsed == info
+
+
+def test_selective_falls_back_without_tracking():
+    """Without tracked sites, selective_unary degrades to the baseline
+    all-unary behaviour (no silent under-instrumentation)."""
+    spec = AtomicitySpecification.initial(build())
+    checker = DoubleChecker(spec)
+    first = checker.run_first(build(), scheduler(0))  # no tracking
+    assert first.static_info.unary_methods == frozenset()
+    result = checker.run_second(
+        build(), first.static_info, scheduler(99), selective_unary=True
+    )
+    assert result.tx_stats.unary_accesses > 0

@@ -1,0 +1,91 @@
+"""Hypothesis properties of the pure Table 1 classification."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octet.states import StateKind, rd_ex, rd_sh, wr_ex
+from repro.octet.transitions import TransitionKind, classify
+from repro.runtime.events import AccessKind
+
+threads = st.sampled_from(["T1", "T2", "T3"])
+accesses = st.sampled_from([AccessKind.READ, AccessKind.WRITE])
+counters = st.integers(0, 20)
+
+
+@st.composite
+def states(draw):
+    kind = draw(st.sampled_from(["none", "wrex", "rdex", "rdsh"]))
+    if kind == "none":
+        return None
+    if kind == "wrex":
+        return wr_ex(draw(threads))
+    if kind == "rdex":
+        return rd_ex(draw(threads))
+    return rd_sh(draw(st.integers(1, 20)))
+
+
+@given(states(), accesses, threads, counters, st.integers(21, 40))
+@settings(max_examples=300, deadline=None)
+def test_classification_is_total_and_owner_correct(
+    state, access, thread, counter, next_counter
+):
+    out = classify(state, access, thread, counter, next_counter)
+
+    # totality: every input classifies to exactly one kind
+    assert isinstance(out.kind, TransitionKind)
+
+    new = out.new_state
+    if access is AccessKind.WRITE:
+        # after any write, the object is (or stays) WrEx for the writer
+        if new is not None:
+            assert new.kind is StateKind.WR_EX and new.owner == thread
+        else:
+            assert out.kind in (TransitionKind.SAME_STATE,)
+            assert state.kind is StateKind.WR_EX and state.owner == thread
+    else:
+        # after a read the thread can read the object without a barrier:
+        # it owns it exclusively, or the object is RdSh with the thread's
+        # counter brought current
+        if new is not None:
+            assert (
+                new.kind in (StateKind.RD_EX, StateKind.WR_EX)
+                and new.owner == thread
+            ) or new.kind is StateKind.RD_SH
+        elif out.kind is TransitionKind.FENCE:
+            assert out.thread_counter_update == state.counter
+        else:
+            assert out.kind is TransitionKind.SAME_STATE
+
+
+@given(states(), accesses, threads, counters, st.integers(21, 40))
+@settings(max_examples=300, deadline=None)
+def test_fast_path_never_changes_state(state, access, thread, counter, nxt):
+    out = classify(state, access, thread, counter, nxt)
+    if out.kind.is_fast_path():
+        assert out.new_state is None
+        assert out.thread_counter_update is None
+
+
+@given(states(), accesses, threads, counters, st.integers(21, 40))
+@settings(max_examples=300, deadline=None)
+def test_dependence_flag_matches_table(state, access, thread, counter, nxt):
+    """The 'Cross-thread dependence?' column: only conflicting,
+    RdSh-upgrading and fence transitions may carry one."""
+    out = classify(state, access, thread, counter, nxt)
+    if out.kind in (
+        TransitionKind.SAME_STATE,
+        TransitionKind.INITIAL,
+        TransitionKind.UPGRADING_WR_EX,
+    ):
+        assert not out.kind.may_carry_dependence()
+    else:
+        assert out.kind.may_carry_dependence()
+
+
+@given(states(), threads, counters, st.integers(21, 40))
+@settings(max_examples=200, deadline=None)
+def test_classification_is_deterministic(state, thread, counter, nxt):
+    first = classify(state, AccessKind.READ, thread, counter, nxt)
+    second = classify(state, AccessKind.READ, thread, counter, nxt)
+    assert first.kind == second.kind
+    assert first.new_state == second.new_state

@@ -1,0 +1,137 @@
+"""Property-based tests of the Octet state machine (hypothesis)."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octet.runtime import OctetRuntime
+from repro.octet.states import StateKind
+from repro.octet.transitions import TransitionKind
+from repro.runtime.events import AccessEvent, AccessKind, Site
+from repro.runtime.heap import Heap
+
+THREADS = ["T1", "T2", "T3"]
+
+#: a random access script: (thread index, object index, is_write)
+scripts = st.lists(
+    st.tuples(
+        st.integers(0, len(THREADS) - 1),
+        st.integers(0, 2),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def run_script(script):
+    heap = Heap()
+    objects = [heap.alloc(f"o{i}") for i in range(3)]
+    runtime = OctetRuntime(live_threads=lambda: list(THREADS))
+    records = []
+    for seq, (t, o, is_write) in enumerate(script, start=1):
+        event = AccessEvent(
+            seq=seq,
+            thread_name=THREADS[t],
+            obj=objects[o],
+            fieldname="f",
+            kind=AccessKind.WRITE if is_write else AccessKind.READ,
+            is_sync=False,
+            is_array=False,
+            site=Site("m", 0),
+        )
+        records.append(runtime.observe(event))
+    return runtime, objects, records
+
+
+@given(scripts)
+@settings(max_examples=150, deadline=None)
+def test_states_never_left_intermediate(script):
+    runtime, objects, _ = run_script(script)
+    for state in runtime.snapshot_states().values():
+        assert not state.is_intermediate()
+
+
+@given(scripts)
+@settings(max_examples=150, deadline=None)
+def test_write_always_ends_in_wrex_for_writer(script):
+    runtime, objects, records = run_script(script)
+    # replay: after each write by T, the object's state must be WrEx(T)
+    states = {}
+    for (t, o, is_write), record in zip(script, records):
+        if is_write:
+            assert record.new_state is None or (
+                record.new_state.kind is StateKind.WR_EX
+                and record.new_state.owner == THREADS[t]
+            )
+            if record.new_state is None:  # same-state fast path
+                assert record.old_state.kind is StateKind.WR_EX
+                assert record.old_state.owner == THREADS[t]
+
+
+@given(scripts)
+@settings(max_examples=150, deadline=None)
+def test_read_fast_path_only_when_safe(script):
+    """A read takes the fast path only if the thread owns the object or
+    its rdShCnt is current — the conditions of the read barrier."""
+    counters = {t: 0 for t in THREADS}
+    for (t, o, is_write), record in zip(script, run_script(script)[2]):
+        thread = THREADS[t]
+        if not is_write and record.kind is TransitionKind.SAME_STATE:
+            state = record.old_state
+            if state.kind is StateKind.RD_SH:
+                assert counters[thread] >= state.counter
+            else:
+                assert state.owner == thread
+        if record.kind is TransitionKind.FENCE:
+            counters[thread] = record.old_state.counter
+        if record.kind is TransitionKind.UPGRADING_RD_SH:
+            counters[thread] = record.new_state.counter
+
+
+@given(scripts)
+@settings(max_examples=150, deadline=None)
+def test_global_counter_increments_only_on_rdsh_upgrades(script):
+    runtime, _, records = run_script(script)
+    upgrades = sum(
+        1 for r in records if r.kind is TransitionKind.UPGRADING_RD_SH
+    )
+    assert runtime.g_rdsh_counter == upgrades
+    # RdSh counters are unique per upgrade and at most the global counter
+    seen = set()
+    for record in records:
+        if record.kind is TransitionKind.UPGRADING_RD_SH:
+            assert record.rdsh_counter not in seen
+            seen.add(record.rdsh_counter)
+            assert record.rdsh_counter <= runtime.g_rdsh_counter
+
+
+@given(scripts)
+@settings(max_examples=150, deadline=None)
+def test_barrier_counts_are_consistent(script):
+    runtime, _, records = run_script(script)
+    stats = runtime.stats
+    assert stats.barriers == len(script)
+    assert stats.barriers == (
+        stats.fast_path
+        + stats.initial
+        + stats.upgrading_wr_ex
+        + stats.upgrading_rd_sh
+        + stats.fences
+        + stats.conflicting
+    )
+
+
+@given(scripts)
+@settings(max_examples=100, deadline=None)
+def test_conflicting_transitions_always_coordinate(script):
+    _, _, records = run_script(script)
+    for record in records:
+        if record.kind.is_conflicting():
+            assert record.coordination is not None
+            assert record.coordination.responders
+            names = {r.thread_name for r in record.coordination.responders}
+            assert record.event.thread_name not in names
+        else:
+            assert record.coordination is None

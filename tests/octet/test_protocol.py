@@ -1,0 +1,50 @@
+"""The coordination protocol model."""
+
+from repro.octet.protocol import CoordinationProtocol, ProtocolKind
+
+
+def test_explicit_for_running_threads():
+    protocol = CoordinationProtocol()
+    round_ = protocol.coordinate("T1", ["T2", "T3"])
+    assert round_.explicit_count == 2
+    assert round_.implicit_count == 0
+    assert all(
+        r.protocol is ProtocolKind.EXPLICIT for r in round_.responders
+    )
+
+
+def test_implicit_for_blocked_threads():
+    blocked = {"T2"}
+    protocol = CoordinationProtocol(lambda t: t in blocked)
+    round_ = protocol.coordinate("T1", ["T2", "T3"])
+    assert round_.implicit_count == 1
+    assert round_.explicit_count == 1
+    by_name = {r.thread_name: r for r in round_.responders}
+    assert by_name["T2"].protocol is ProtocolKind.IMPLICIT
+    assert by_name["T2"].invoked_by_requester
+    assert not by_name["T3"].invoked_by_requester
+
+
+def test_requester_never_responds_to_itself():
+    protocol = CoordinationProtocol()
+    round_ = protocol.coordinate("T1", ["T1", "T2"])
+    assert [r.thread_name for r in round_.responders] == ["T2"]
+
+
+def test_stats_accumulate():
+    blocked = {"T3"}
+    protocol = CoordinationProtocol(lambda t: t in blocked)
+    protocol.coordinate("T1", ["T2"])
+    protocol.coordinate("T1", ["T3"])
+    stats = protocol.stats()
+    assert stats["rounds"] == 2
+    assert stats["explicit_responses"] == 1
+    assert stats["implicit_responses"] == 1
+    assert stats["holds_placed"] == 1
+
+
+def test_empty_responder_list():
+    protocol = CoordinationProtocol()
+    round_ = protocol.coordinate("T1", [])
+    assert round_.responders == []
+    assert protocol.stats()["rounds"] == 1

@@ -1,0 +1,59 @@
+"""Octet state values."""
+
+import pytest
+
+from repro.octet.states import (
+    OctetState,
+    StateKind,
+    rd_ex,
+    rd_ex_int,
+    rd_sh,
+    wr_ex,
+    wr_ex_int,
+)
+
+
+def test_constructors():
+    assert wr_ex("T1").kind is StateKind.WR_EX
+    assert rd_ex("T1").owner == "T1"
+    assert rd_sh(5).counter == 5
+
+
+def test_rdsh_requires_counter():
+    with pytest.raises(ValueError):
+        OctetState(StateKind.RD_SH)
+
+
+def test_rdsh_rejects_owner():
+    with pytest.raises(ValueError):
+        OctetState(StateKind.RD_SH, owner="T1", counter=1)
+
+
+def test_exclusive_requires_owner():
+    with pytest.raises(ValueError):
+        OctetState(StateKind.WR_EX)
+
+
+def test_exclusive_rejects_counter():
+    with pytest.raises(ValueError):
+        OctetState(StateKind.RD_EX, owner="T1", counter=3)
+
+
+def test_predicates():
+    assert wr_ex("T").is_exclusive()
+    assert rd_ex("T").is_exclusive()
+    assert not rd_sh(1).is_exclusive()
+    assert rd_ex_int("T").is_intermediate()
+    assert wr_ex_int("T").is_intermediate()
+    assert not wr_ex("T").is_intermediate()
+
+
+def test_str_forms():
+    assert str(wr_ex("T1")) == "WrEx(T1)"
+    assert str(rd_sh(7)) == "RdSh(7)"
+
+
+def test_states_are_values():
+    assert wr_ex("T1") == wr_ex("T1")
+    assert wr_ex("T1") != wr_ex("T2")
+    assert rd_sh(1) != rd_sh(2)

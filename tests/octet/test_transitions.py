@@ -1,0 +1,133 @@
+"""Exhaustive verification of Table 1's transition relation."""
+
+import pytest
+
+from repro.octet.states import StateKind, rd_ex, rd_ex_int, rd_sh, wr_ex
+from repro.octet.transitions import TransitionKind, classify
+from repro.runtime.events import AccessKind
+
+R, W = AccessKind.READ, AccessKind.WRITE
+
+
+def c(state, access, thread="T2", thread_counter=0, next_counter=10):
+    return classify(state, access, thread, thread_counter, next_counter)
+
+
+class TestSameState:
+    """The 'Same state' rows: fast path, no dependence."""
+
+    def test_wrex_read_by_owner(self):
+        out = c(wr_ex("T1"), R, thread="T1")
+        assert out.kind is TransitionKind.SAME_STATE
+        assert out.new_state is None
+
+    def test_wrex_write_by_owner(self):
+        assert c(wr_ex("T1"), W, thread="T1").kind is TransitionKind.SAME_STATE
+
+    def test_rdex_read_by_owner(self):
+        assert c(rd_ex("T1"), R, thread="T1").kind is TransitionKind.SAME_STATE
+
+    def test_rdsh_read_with_fresh_counter(self):
+        out = c(rd_sh(5), R, thread_counter=5)
+        assert out.kind is TransitionKind.SAME_STATE
+
+    def test_rdsh_read_with_newer_counter(self):
+        assert c(rd_sh(5), R, thread_counter=9).kind is TransitionKind.SAME_STATE
+
+
+class TestUpgrading:
+    """The 'Upgrading' rows."""
+
+    def test_rdex_write_by_owner_upgrades_to_wrex(self):
+        out = c(rd_ex("T1"), W, thread="T1")
+        assert out.kind is TransitionKind.UPGRADING_WR_EX
+        assert out.new_state == wr_ex("T1")
+        assert not out.kind.may_carry_dependence()
+
+    def test_rdex_read_by_other_upgrades_to_rdsh(self):
+        out = c(rd_ex("T1"), R, thread="T2", next_counter=42)
+        assert out.kind is TransitionKind.UPGRADING_RD_SH
+        assert out.new_state == rd_sh(42)
+        assert out.kind.may_carry_dependence()
+
+
+class TestFence:
+    """The 'Fence' row: stale rdShCnt triggers a fence, state unchanged."""
+
+    def test_stale_counter_triggers_fence(self):
+        out = c(rd_sh(5), R, thread_counter=3)
+        assert out.kind is TransitionKind.FENCE
+        assert out.new_state is None
+        assert out.thread_counter_update == 5
+        assert out.kind.may_carry_dependence()
+
+
+class TestConflicting:
+    """The 'Conflicting' rows: coordination required."""
+
+    def test_wrex_write_by_other(self):
+        out = c(wr_ex("T1"), W, thread="T2")
+        assert out.kind is TransitionKind.CONFLICTING_WR_WR
+        assert out.new_state == wr_ex("T2")
+
+    def test_wrex_read_by_other(self):
+        out = c(wr_ex("T1"), R, thread="T2")
+        assert out.kind is TransitionKind.CONFLICTING_WR_RD
+        assert out.new_state == rd_ex("T2")
+
+    def test_rdex_write_by_other(self):
+        out = c(rd_ex("T1"), W, thread="T2")
+        assert out.kind is TransitionKind.CONFLICTING_RD_WR
+        assert out.new_state == wr_ex("T2")
+
+    def test_rdsh_write_by_anyone(self):
+        out = c(rd_sh(5), W, thread="T2")
+        assert out.kind is TransitionKind.CONFLICTING_SH_WR
+        assert out.new_state == wr_ex("T2")
+
+    def test_rdsh_write_even_by_recent_reader(self):
+        # Table 1: RdSh + write is conflicting regardless of the writer
+        out = c(rd_sh(5), W, thread="T2", thread_counter=5)
+        assert out.kind is TransitionKind.CONFLICTING_SH_WR
+
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            TransitionKind.CONFLICTING_WR_WR,
+            TransitionKind.CONFLICTING_WR_RD,
+            TransitionKind.CONFLICTING_RD_WR,
+            TransitionKind.CONFLICTING_SH_WR,
+        ],
+    )
+    def test_conflicting_predicates(self, kind):
+        assert kind.is_conflicting()
+        assert kind.may_carry_dependence()
+        assert not kind.is_fast_path()
+
+
+class TestInitial:
+    def test_first_read_installs_rdex(self):
+        out = c(None, R, thread="T3")
+        assert out.kind is TransitionKind.INITIAL
+        assert out.new_state == rd_ex("T3")
+
+    def test_first_write_installs_wrex(self):
+        out = c(None, W, thread="T3")
+        assert out.kind is TransitionKind.INITIAL
+        assert out.new_state == wr_ex("T3")
+
+
+def test_intermediate_state_rejected():
+    with pytest.raises(ValueError):
+        c(rd_ex_int("T1"), R)
+
+
+def test_exhaustive_coverage_of_state_access_pairs():
+    """Every (state-kind, access, same/other-thread) pair classifies."""
+    states = [None, wr_ex("T1"), rd_ex("T1"), rd_sh(5)]
+    for state in states:
+        for access in (R, W):
+            for thread in ("T1", "T2"):
+                for counter in (0, 5, 9):
+                    out = classify(state, access, thread, counter, 10)
+                    assert isinstance(out.kind, TransitionKind)

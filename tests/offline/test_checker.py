@@ -1,0 +1,150 @@
+"""The offline (Farzan & Parthasarathy-style) comparator."""
+
+import pytest
+
+from repro.core.doublechecker import DoubleChecker
+from repro.offline.checker import OfflineChecker
+from repro.runtime.ops import Acquire, Compute, Invoke, Read, Release, Write
+from repro.runtime.program import Program
+from repro.runtime.scheduler import RandomScheduler
+from repro.spec.specification import AtomicitySpecification
+from repro.trace.recorder import record_execution
+
+from tests.util import counter_program, spec_for
+
+
+def scheduler(seed=5):
+    return RandomScheduler(seed=seed, switch_prob=0.7)
+
+
+class TestDataConflicts:
+    def test_detects_split_rmw(self):
+        program = counter_program(threads=2, iterations=12)
+        spec = spec_for(program)
+        trace = record_execution(program, scheduler())
+        result = OfflineChecker(spec).check(trace)
+        assert "rmw" in {
+            m for r in result.violations.records for m in r.cycle_methods
+        }
+
+    def test_clean_program_clean_verdict(self):
+        program = counter_program(threads=2, iterations=12, locked=True)
+        spec = spec_for(program)
+        trace = record_execution(program, scheduler())
+        result = OfflineChecker(spec).check(trace)
+        assert not result.violations
+
+    @pytest.mark.parametrize("seed", [3, 9, 27])
+    def test_verdict_matches_doublechecker_on_data_conflicts(self, seed):
+        """On lock-free workloads (no synchronization edges to differ
+        over), the offline checker and DoubleChecker agree."""
+        program = counter_program(threads=3, iterations=15)
+        spec = spec_for(program)
+        trace = record_execution(program, scheduler(seed))
+        offline = OfflineChecker(spec).check(trace)
+
+        online = DoubleChecker(spec).run_single(
+            counter_program(threads=3, iterations=15), scheduler(seed)
+        )
+        assert bool(offline.violations) == bool(online.violations)
+
+
+class TestSynchronizationEdges:
+    def _sync_only_program(self):
+        """Two atomic methods whose only interaction is the lock: each
+        takes the same lock twice with a gap.  Release–acquire edges
+        form a cycle between overlapping transactions, but there is no
+        data conflict — the paper's Section 6 false-positive shape."""
+        program = Program("synconly")
+        lock = program.add_global_object("lock")
+        mine = program.add_global_objects("mine", 2)
+
+        def double_critical(ctx, lane):
+            yield Acquire(lock)
+            value = yield Read(mine[lane], "x")
+            yield Write(mine[lane], "x", (value or 0) + 1)
+            yield Release(lock)
+            yield Compute(2)
+            yield Acquire(lock)
+            value = yield Read(mine[lane], "y")
+            yield Write(mine[lane], "y", (value or 0) + 1)
+            yield Release(lock)
+
+        def worker(ctx, lane):
+            for _ in range(6):
+                yield Invoke("double_critical", (lane,))
+
+        program.method(double_critical, name="double_critical")
+        program.method(worker, name="worker")
+        program.mark_entry("worker")
+        program.add_thread("A", "worker", (0,))
+        program.add_thread("B", "worker", (1,))
+        return program
+
+    def test_online_checkers_report_sync_cycle(self):
+        """Velodrome (and DoubleChecker, which follows it) treat
+        release–acquire as dependences and report this."""
+        program = self._sync_only_program()
+        spec = AtomicitySpecification.initial(program)
+        result = DoubleChecker(spec).run_single(
+            self._sync_only_program(), scheduler(seed=13)
+        )
+        assert "double_critical" in result.blamed_methods
+
+    def test_offline_checker_does_not(self):
+        """[9] does not track synchronization edges: no false positive."""
+        program = self._sync_only_program()
+        spec = AtomicitySpecification.initial(program)
+        trace = record_execution(self._sync_only_program(), scheduler(seed=13))
+        result = OfflineChecker(spec).check(trace)
+        assert not result.violations
+        assert result.stats.sync_accesses_skipped > 0
+
+    def test_offline_with_sync_edges_matches_online(self):
+        program = self._sync_only_program()
+        spec = AtomicitySpecification.initial(program)
+        trace = record_execution(self._sync_only_program(), scheduler(seed=13))
+        result = OfflineChecker(spec, track_sync_edges=True).check(trace)
+        assert result.violations
+
+
+class TestSummarization:
+    def test_summarization_bounds_live_state(self):
+        program = counter_program(threads=3, iterations=60)
+        spec = spec_for(program)
+        trace = record_execution(program, scheduler())
+        summarized = OfflineChecker(spec, summarize_interval=8).check(trace)
+        assert summarized.gc_stats.transactions_collected > 0
+
+    def test_summarization_preserves_verdicts(self):
+        def verdict(interval, seed):
+            program = counter_program(threads=3, iterations=25)
+            spec = spec_for(program)
+            trace = record_execution(program, scheduler(seed))
+            result = OfflineChecker(spec, summarize_interval=interval).check(
+                trace
+            )
+            return bool(result.violations)
+
+        for seed in (1, 2, 3):
+            assert verdict(None, seed) == verdict(6, seed)
+
+    def test_unary_only_cycles_not_reported(self):
+        """A cycle with no regular transaction implicates no specified
+        atomic region."""
+        program = Program("unaryonly")
+        shared = program.add_global_object("shared")
+
+        def body(ctx):
+            for _ in range(10):
+                value = yield Read(shared, "x")
+                yield Write(shared, "x", (value or 0) + 1)
+
+        program.method(body, name="body")
+        program.mark_entry("body")
+        program.add_thread("A", "body")
+        program.add_thread("B", "body")
+        spec = AtomicitySpecification.initial(program)
+        trace = record_execution(program, scheduler(seed=2))
+        result = OfflineChecker(spec).check(trace)
+        assert result.blamed_methods == set()

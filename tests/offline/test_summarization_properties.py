@@ -1,0 +1,80 @@
+"""Property tests for the offline checker's summarization."""
+
+from hypothesis import given, settings
+
+from repro.offline.checker import OfflineChecker
+from repro.runtime.executor import Executor
+from repro.runtime.scheduler import RandomScheduler
+from repro.spec.specification import AtomicitySpecification
+from repro.trace.recorder import TraceRecorder
+
+from tests.integration.test_soundness_properties import (
+    materialize,
+    program_strategy,
+)
+
+
+def record(method_specs, thread_scripts, seed):
+    program = materialize(method_specs, thread_scripts)
+    spec = AtomicitySpecification.initial(program)
+    recorder = TraceRecorder()
+    Executor(
+        program, RandomScheduler(seed=seed, switch_prob=0.7), [recorder]
+    ).run()
+    return spec, recorder.trace
+
+
+@given(program_strategy)
+@settings(max_examples=40, deadline=None)
+def test_summarization_never_changes_the_verdict(case):
+    method_specs, thread_scripts, seed = case
+    spec, trace = record(method_specs, thread_scripts, seed)
+    unsummarized = OfflineChecker(spec, summarize_interval=None).check(trace)
+    summarized = OfflineChecker(spec, summarize_interval=4).check(trace)
+    assert bool(unsummarized.violations) == bool(summarized.violations)
+    assert (
+        unsummarized.violations.blamed_methods()
+        == summarized.violations.blamed_methods()
+    )
+
+
+@given(program_strategy)
+@settings(max_examples=40, deadline=None)
+def test_offline_verdict_bounded_by_online_with_sync(case):
+    """Without sync edges the offline checker can only find a subset of
+    what the sync-tracking configuration finds (sync edges only ever
+    add dependences)."""
+    method_specs, thread_scripts, seed = case
+    spec, trace = record(method_specs, thread_scripts, seed)
+    no_sync = OfflineChecker(spec, track_sync_edges=False).check(trace)
+    with_sync = OfflineChecker(spec, track_sync_edges=True).check(trace)
+    if no_sync.violations:
+        assert with_sync.violations
+
+
+@given(program_strategy)
+@settings(max_examples=30, deadline=None)
+def test_offline_agrees_with_oracle_on_lock_free_traces(case):
+    """When the trace has no lock traffic at all (every method body is
+    read/write-only), sync edges are irrelevant and the offline checker
+    matches the whole-trace oracle's verdict."""
+    method_specs, thread_scripts, seed = case
+    # strip locked-rmw ops (kind 2) so no monitors are touched
+    stripped = [
+        [(0 if kind == 2 else kind, o, f) for kind, o, f in body]
+        for body in method_specs
+    ]
+    spec, trace = record(stripped, thread_scripts, seed)
+
+    from repro.core.icd import ICD
+    from repro.core.pcd import PCD
+    from repro.core.reports import ViolationSummary
+    from repro.trace.replay import replay_trace
+
+    violations = ViolationSummary()
+    pcd = PCD()
+    icd = ICD(spec, on_scc=lambda c: violations.extend(pcd.process(c)))
+    replay_trace(trace, [icd])
+
+    offline = OfflineChecker(spec).check(trace)
+    assert bool(offline.violations) == bool(violations)

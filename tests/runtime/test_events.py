@@ -1,0 +1,39 @@
+"""Access events, sites, and addressing."""
+
+from repro.runtime.events import AccessEvent, AccessKind, Site
+from repro.runtime.heap import Heap
+
+
+def make_event(kind=AccessKind.READ, fieldname="f", is_array=False):
+    heap = Heap()
+    obj = heap.alloc("o")
+    return AccessEvent(
+        seq=1,
+        thread_name="T",
+        obj=obj,
+        fieldname=fieldname,
+        kind=kind,
+        is_sync=False,
+        is_array=is_array,
+        site=Site("m", 0),
+    )
+
+
+def test_address_is_field_granular():
+    event = make_event(fieldname="g")
+    assert event.address == (event.obj.oid, "g")
+
+
+def test_object_address_conflates_fields():
+    a = make_event(fieldname="[0]", is_array=True)
+    assert a.object_address == (a.obj.oid, "*")
+
+
+def test_kind_predicates():
+    assert make_event(AccessKind.READ).is_read()
+    assert not make_event(AccessKind.READ).is_write()
+    assert make_event(AccessKind.WRITE).is_write()
+
+
+def test_site_string():
+    assert str(Site("update", 3)) == "update@3"

@@ -1,0 +1,39 @@
+"""The operation vocabulary."""
+
+from repro.runtime import ops
+
+
+def test_operations_are_immutable():
+    read = ops.Read(None, "f")
+    try:
+        read.fieldname = "g"
+        raised = False
+    except AttributeError:
+        raised = True
+    assert raised
+
+
+def test_defaults():
+    assert ops.Compute().cost == 1
+    assert ops.Notify(None).wake_all is False
+    assert ops.Invoke("m").args == ()
+    assert ops.Fork("T", "m").args == ()
+    assert ops.NewArray().length == 0
+    assert ops.New().label == "obj"
+
+
+def test_groups_cover_vocabulary():
+    assert ops.Read in ops.MemoryOp
+    assert ops.ArrayWrite in ops.MemoryOp
+    assert ops.Acquire in ops.SyncOp
+    assert ops.Wait in ops.SyncOp
+    for op in ops.MemoryOp + ops.SyncOp:
+        assert op in ops.Operation
+    assert ops.Invoke in ops.Operation
+    assert ops.Compute in ops.Operation
+
+
+def test_equality_is_structural():
+    heap_obj = object()
+    assert ops.Read(heap_obj, "f") == ops.Read(heap_obj, "f")
+    assert ops.Read(heap_obj, "f") != ops.Read(heap_obj, "g")

@@ -1,0 +1,191 @@
+"""Monitor semantics: locks, wait sets, notify."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.runtime.executor import run_program
+from repro.runtime.heap import Heap
+from repro.runtime.ops import (
+    Acquire,
+    Compute,
+    Notify,
+    Read,
+    Release,
+    Wait,
+    Write,
+)
+from repro.runtime.program import Program
+from repro.runtime.scheduler import RandomScheduler, RoundRobinScheduler
+from repro.runtime.sync import LockTable
+
+
+@pytest.fixture
+def table():
+    return LockTable()
+
+
+@pytest.fixture
+def obj():
+    return Heap().alloc("o")
+
+
+class TestLockTable:
+    def test_acquire_free(self, table, obj):
+        assert table.try_acquire("T1", obj)
+        assert table.owner_of(obj) == "T1"
+
+    def test_acquire_held_fails(self, table, obj):
+        table.try_acquire("T1", obj)
+        assert not table.try_acquire("T2", obj)
+
+    def test_reentrant_depth(self, table, obj):
+        table.try_acquire("T1", obj)
+        table.try_acquire("T1", obj)
+        assert not table.release("T1", obj)
+        assert table.release("T1", obj)
+        assert table.owner_of(obj) is None
+
+    def test_release_not_owner_raises(self, table, obj):
+        table.try_acquire("T1", obj)
+        with pytest.raises(ProgramError):
+            table.release("T2", obj)
+
+    def test_release_fully_returns_depth(self, table, obj):
+        table.try_acquire("T1", obj)
+        table.try_acquire("T1", obj)
+        table.try_acquire("T1", obj)
+        assert table.release_fully("T1", obj) == 3
+        assert table.owner_of(obj) is None
+
+    def test_reacquire_with_saved_depth(self, table, obj):
+        table.try_acquire("T1", obj, depth=3)
+        assert not table.release("T1", obj)
+        assert not table.release("T1", obj)
+        assert table.release("T1", obj)
+
+    def test_notify_wakes_one_in_order(self, table, obj):
+        table.add_waiter("T2", obj)
+        table.add_waiter("T1", obj)
+        assert table.notify(obj, wake_all=False) == ["T1"]
+        assert table.waiters(obj) == ["T2"]
+
+    def test_notify_all(self, table, obj):
+        table.add_waiter("T2", obj)
+        table.add_waiter("T1", obj)
+        assert table.notify(obj, wake_all=True) == ["T1", "T2"]
+        assert table.waiters(obj) == []
+
+    def test_notify_empty(self, table, obj):
+        assert table.notify(obj, wake_all=True) == []
+
+    def test_require_owner(self, table, obj):
+        with pytest.raises(ProgramError):
+            table.require_owner("T1", obj, "wait")
+
+
+class TestWaitNotify:
+    def _producer_consumer(self, rounds=3):
+        program = Program("pc")
+        box = program.add_global_object("box")
+        consumed = []
+
+        def producer(ctx):
+            for i in range(rounds):
+                yield Acquire(box)
+                count = yield Read(box, "count")
+                yield Write(box, "count", (count or 0) + 1)
+                yield Notify(box, True)
+                yield Release(box)
+                yield Compute(2)
+
+        def consumer(ctx):
+            for _ in range(rounds):
+                yield Acquire(box)
+                count = yield Read(box, "count")
+                while not count:
+                    yield Wait(box)
+                    count = yield Read(box, "count")
+                yield Write(box, "count", count - 1)
+                consumed.append(count)
+                yield Release(box)
+
+        program.method(producer, name="producer", interrupting=True)
+        program.method(consumer, name="consumer", interrupting=True)
+        program.add_thread("P", "producer")
+        program.add_thread("C", "consumer")
+        return program, consumed
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_producer_consumer_terminates(self, seed):
+        program, consumed = self._producer_consumer()
+        run_program(program, RandomScheduler(seed=seed, switch_prob=0.6))
+        assert len(consumed) == 3
+
+    def test_wait_without_monitor_raises(self):
+        program = Program("bad")
+        box = program.add_global_object("box")
+
+        def body(ctx):
+            yield Wait(box)
+
+        program.method(body, name="body")
+        program.add_thread("T", "body")
+        with pytest.raises(ProgramError):
+            run_program(program)
+
+    def test_notify_without_monitor_raises(self):
+        program = Program("bad")
+        box = program.add_global_object("box")
+
+        def body(ctx):
+            yield Notify(box)
+
+        program.method(body, name="body")
+        program.add_thread("T", "body")
+        with pytest.raises(ProgramError):
+            run_program(program)
+
+    def test_wait_restores_reentrant_depth(self):
+        program = Program("depth")
+        box = program.add_global_object("box")
+        checks = []
+
+        def waiter(ctx):
+            yield Acquire(box)
+            yield Acquire(box)
+            yield Wait(box)
+            # both re-entry levels must have been restored
+            yield Release(box)
+            yield Release(box)
+            checks.append("ok")
+
+        def notifier(ctx):
+            yield Compute(3)
+            yield Acquire(box)
+            yield Notify(box)
+            yield Release(box)
+
+        program.method(waiter, name="waiter", interrupting=True)
+        program.method(notifier, name="notifier", interrupting=True)
+        program.add_thread("W", "waiter")
+        program.add_thread("N", "notifier")
+        run_program(program, RoundRobinScheduler())
+        assert checks == ["ok"]
+
+    def test_contended_lock_mutual_exclusion(self):
+        program = Program("mutex")
+        shared = program.add_global_object("shared")
+
+        def body(ctx):
+            for _ in range(15):
+                yield Acquire(shared)
+                value = yield Read(shared, "v")
+                yield Compute(2)
+                yield Write(shared, "v", (value or 0) + 1)
+                yield Release(shared)
+
+        program.method(body, name="body")
+        for name in ("A", "B", "C"):
+            program.add_thread(name, "body")
+        run_program(program, RandomScheduler(seed=2, switch_prob=0.9))
+        assert shared.fields["v"] == 45

@@ -1,0 +1,67 @@
+"""Runtime views used by the coordination protocol."""
+
+from repro.runtime.executor import Executor
+from repro.runtime.listeners import ExecutionListener
+from repro.runtime.ops import Acquire, Compute, Release
+from repro.runtime.program import Program
+from repro.runtime.scheduler import RoundRobinScheduler
+from repro.runtime.view import ExecutorView, NullView
+
+
+def test_null_view_defaults():
+    view = NullView()
+    assert not view.is_thread_blocked("T")
+    assert not view.holds_any_lock("T")
+
+
+class Sampler(ExecutionListener):
+    """Samples the view while the other thread is blocked on a lock."""
+
+    def __init__(self):
+        self.view = None
+        self.samples = []
+
+    def on_access(self, event):
+        if self.view is not None:
+            self.samples.append(
+                (
+                    event.thread_name,
+                    self.view.is_thread_blocked("A"),
+                    self.view.is_thread_blocked("B"),
+                    self.view.holds_any_lock("A"),
+                    self.view.holds_any_lock("B"),
+                )
+            )
+
+
+def test_executor_view_sees_blocking_and_locks():
+    program = Program("view")
+    lock = program.add_global_object("lock")
+
+    def holder(ctx):
+        yield Acquire(lock)
+        yield Compute(6)
+        yield Release(lock)
+
+    def contender(ctx):
+        yield Compute(2)
+        yield Acquire(lock)
+        yield Release(lock)
+
+    program.method(holder, name="holder")
+    program.method(contender, name="contender")
+    program.add_thread("A", "holder")
+    program.add_thread("B", "contender")
+
+    sampler = Sampler()
+    executor = Executor(program, RoundRobinScheduler(), [sampler])
+    sampler.view = ExecutorView(executor)
+    executor.run()
+
+    # at some point A held the lock while B was blocked on it
+    assert any(
+        holds_a and blocked_b
+        for (_t, _ba, blocked_b, holds_a, _hb) in sampler.samples
+    )
+    # and the lock was eventually released everywhere
+    assert not executor.locks.owner_of(lock)

@@ -1,0 +1,106 @@
+"""Iterative refinement (Figure 6)."""
+
+from repro.core.doublechecker import DoubleChecker
+from repro.runtime.scheduler import RandomScheduler
+from repro.spec.refinement import iterative_refinement
+from repro.spec.specification import AtomicitySpecification
+
+from tests.util import counter_program, spec_for
+
+
+class TestLoopMechanics:
+    def _spec(self):
+        methods = frozenset({"a", "b", "c", "entry"})
+        return AtomicitySpecification(methods, frozenset({"entry"}))
+
+    def test_converges_when_no_blames(self):
+        result = iterative_refinement(self._spec(), lambda spec, t: set())
+        assert result.converged
+        assert result.violation_count() == 0
+        assert result.final_spec is result.initial_spec
+
+    def test_excludes_blamed_methods_step_by_step(self):
+        # blame 'a' while it is atomic, then 'b', then nothing
+        def runner(spec, trial):
+            if spec.is_atomic("a"):
+                return {"a"}
+            if spec.is_atomic("b"):
+                return {"b"}
+            return set()
+
+        result = iterative_refinement(self._spec(), runner, trials_per_step=2)
+        assert result.converged
+        assert result.all_blamed == {"a", "b"}
+        assert not result.final_spec.is_atomic("a")
+        assert not result.final_spec.is_atomic("b")
+        assert result.final_spec.is_atomic("c")
+        assert len(result.steps) == 2
+
+    def test_blames_outside_spec_ignored(self):
+        def runner(spec, trial):
+            return {"entry"}  # already excluded
+
+        result = iterative_refinement(self._spec(), runner)
+        assert result.converged
+        assert result.violation_count() == 0
+
+    def test_union_across_trials_within_step(self):
+        def runner(spec, trial):
+            if not spec.is_atomic("a"):
+                return set()
+            return {"a"} if trial % 2 == 0 else {"b"}
+
+        result = iterative_refinement(self._spec(), runner, trials_per_step=2)
+        assert result.steps[0].newly_blamed == {"a", "b"}
+
+    def test_max_steps_guard(self):
+        # a runner that always blames something that is still atomic
+        def runner(spec, trial):
+            atomic = spec.atomic_methods()
+            return {atomic[0]} if atomic else set()
+
+        result = iterative_refinement(
+            self._spec(), runner, trials_per_step=1, max_steps=2
+        )
+        assert not result.converged
+
+    def test_spec_at_fraction(self):
+        def runner(spec, trial):
+            for m in ("a", "b", "c"):
+                if spec.is_atomic(m):
+                    return {m}
+            return set()
+
+        result = iterative_refinement(self._spec(), runner, trials_per_step=1)
+        start = result.spec_at_fraction(0.0)
+        half = result.spec_at_fraction(0.5)
+        final = result.spec_at_fraction(1.0)
+        assert len(start) > len(half) > len(final) or len(start) >= len(half)
+        assert final.atomic_methods() == []
+
+
+class TestEndToEnd:
+    def test_refinement_removes_violating_method(self):
+        trial_counter = [0]
+
+        def runner(spec, trial):
+            program = counter_program(threads=2, iterations=12)
+            # the refined spec applies to the same method universe
+            spec = AtomicitySpecification(
+                frozenset(program.method_names()),
+                spec.excluded & frozenset(program.method_names())
+                | frozenset(program.entry_methods()),
+            )
+            checker = DoubleChecker(spec)
+            result = checker.run_single(
+                program, RandomScheduler(seed=trial, switch_prob=0.7)
+            )
+            return result.blamed_methods
+
+        program = counter_program(threads=2, iterations=12)
+        result = iterative_refinement(
+            spec_for(program), runner, trials_per_step=3
+        )
+        assert result.converged
+        assert result.all_blamed == {"rmw"}
+        assert not result.final_spec.is_atomic("rmw")

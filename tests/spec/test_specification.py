@@ -1,0 +1,90 @@
+"""Atomicity specifications."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.runtime.ops import Compute, Wait
+from repro.runtime.program import Program
+from repro.spec.specification import AtomicitySpecification
+
+
+def sample_program():
+    program = Program("p")
+    box = program.add_global_object("box")
+
+    def main(ctx):
+        yield Compute(1)
+
+    def helper(ctx):
+        yield Compute(1)
+
+    def waiter(ctx):
+        yield Wait(box)
+
+    program.method(main, name="main")
+    program.method(helper, name="helper")
+    program.method(waiter, name="waiter", interrupting=True)
+    program.add_thread("T", "main")
+    return program
+
+
+class TestInitial:
+    def test_excludes_entry_and_interrupting(self):
+        spec = AtomicitySpecification.initial(sample_program())
+        assert not spec.is_atomic("main")
+        assert not spec.is_atomic("waiter")
+        assert spec.is_atomic("helper")
+
+    def test_excludes_marked_entries(self):
+        program = sample_program()
+        program.mark_entry("helper")
+        spec = AtomicitySpecification.initial(program)
+        assert not spec.is_atomic("helper")
+
+    def test_empty_spec(self):
+        spec = AtomicitySpecification.empty(sample_program())
+        assert spec.atomic_methods() == []
+
+
+class TestManipulation:
+    def test_exclude_returns_new_spec(self):
+        spec = AtomicitySpecification.initial(sample_program())
+        refined = spec.exclude(["helper"])
+        assert spec.is_atomic("helper")
+        assert not refined.is_atomic("helper")
+
+    def test_exclude_unknown_method_rejected(self):
+        spec = AtomicitySpecification.initial(sample_program())
+        with pytest.raises(SpecificationError):
+            spec.exclude(["ghost"])
+
+    def test_intersect(self):
+        program = sample_program()
+        base = AtomicitySpecification.initial(program)
+        a = base.exclude(["helper"])
+        b = base  # helper atomic here
+        merged = a.intersect(b)
+        assert not merged.is_atomic("helper")
+
+    def test_intersect_different_programs_rejected(self):
+        a = AtomicitySpecification.initial(sample_program())
+        other = Program("q")
+
+        def m(ctx):
+            yield Compute(1)
+
+        other.method(m, name="m")
+        other.add_thread("T", "m")
+        b = AtomicitySpecification.initial(other)
+        with pytest.raises(SpecificationError):
+            a.intersect(b)
+
+    def test_runtime_pseudo_methods_never_atomic(self):
+        spec = AtomicitySpecification.initial(sample_program())
+        assert not spec.is_atomic("<unary>")
+        assert not spec.is_atomic("<thread-start>")
+
+    def test_len_and_describe(self):
+        spec = AtomicitySpecification.initial(sample_program())
+        assert len(spec) == 1
+        assert "1 atomic" in spec.describe()

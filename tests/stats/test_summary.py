@@ -1,0 +1,78 @@
+"""Statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.summary import (
+    confidence_interval95,
+    geomean,
+    mean,
+    median,
+    normalize,
+)
+
+positive_lists = st.lists(
+    st.floats(min_value=0.01, max_value=1e6, allow_nan=False), min_size=1, max_size=30
+)
+
+
+def test_mean():
+    assert mean([1, 2, 3]) == 2
+
+
+def test_mean_empty_raises():
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_median_odd_even():
+    assert median([3, 1, 2]) == 2
+    assert median([4, 1, 2, 3]) == 2.5
+
+
+def test_geomean_known_value():
+    assert geomean([1, 100]) == pytest.approx(10.0)
+
+
+def test_geomean_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+
+
+def test_confidence_interval_single_sample():
+    center, half = confidence_interval95([5.0])
+    assert center == 5.0 and half == 0.0
+
+
+def test_confidence_interval_shrinks_with_samples():
+    tight = confidence_interval95([10.0, 10.1] * 10)[1]
+    loose = confidence_interval95([10.0, 10.1])[1]
+    assert tight < loose
+
+
+def test_normalize():
+    assert normalize([2.0, 4.0], 2.0) == [1.0, 2.0]
+    with pytest.raises(ValueError):
+        normalize([1.0], 0.0)
+
+
+@given(positive_lists)
+def test_geomean_between_min_and_max(values):
+    g = geomean(values)
+    assert min(values) <= g * (1 + 1e-9)
+    assert g <= max(values) * (1 + 1e-9)
+
+
+@given(positive_lists)
+def test_mean_at_least_geomean(values):
+    # AM-GM inequality
+    assert mean(values) >= geomean(values) * (1 - 1e-9)
+
+
+@given(positive_lists, st.floats(min_value=0.1, max_value=10))
+def test_geomean_scales_linearly(values, factor):
+    scaled = geomean([v * factor for v in values])
+    assert scaled == pytest.approx(geomean(values) * factor, rel=1e-6)

@@ -1,0 +1,45 @@
+"""Exception types carry structured context."""
+
+import pytest
+
+from repro.errors import (
+    DeadlockError,
+    OutOfMemoryBudget,
+    ProgramError,
+    ReproError,
+    SchedulerError,
+    SpecificationError,
+    StepLimitExceeded,
+)
+
+
+def test_hierarchy():
+    for cls in (
+        OutOfMemoryBudget,
+        SpecificationError,
+        ProgramError,
+        DeadlockError,
+        SchedulerError,
+        StepLimitExceeded,
+    ):
+        assert issubclass(cls, ReproError)
+
+
+def test_out_of_memory_payload():
+    error = OutOfMemoryBudget("PCD", used=123, budget=100)
+    assert error.component == "PCD"
+    assert error.used == 123
+    assert error.budget == 100
+    assert "PCD" in str(error) and "123" in str(error)
+
+
+def test_deadlock_lists_blocked_threads():
+    error = DeadlockError({"B": "blocked-lock", "A": "waiting"})
+    message = str(error)
+    assert message.index("A: waiting") < message.index("B: blocked-lock")
+
+
+def test_step_limit_payload():
+    error = StepLimitExceeded(500)
+    assert error.limit == 500
+    assert "500" in str(error)

@@ -1,0 +1,51 @@
+"""Trace recording and serialization."""
+
+from repro.runtime.scheduler import RandomScheduler
+from repro.trace.recorder import ACCESS, Trace, record_execution
+
+from tests.util import counter_program
+
+
+def test_records_all_event_kinds():
+    trace = record_execution(
+        counter_program(threads=2, iterations=3),
+        RandomScheduler(seed=1),
+    )
+    kinds = {r[0] for r in trace.records}
+    assert kinds == {"a", "m+", "m-", "t+", "t-"}
+
+
+def test_access_count_matches_execution():
+    from repro.runtime.executor import Executor
+    from repro.trace.recorder import TraceRecorder
+
+    program = counter_program(threads=2, iterations=3)
+    recorder = TraceRecorder()
+    result = Executor(program, RandomScheduler(seed=1), [recorder]).run()
+    assert recorder.trace.access_count() == result.access_count
+
+
+def test_jsonl_round_trip():
+    trace = record_execution(
+        counter_program(threads=2, iterations=3), RandomScheduler(seed=2)
+    )
+    restored = Trace.from_jsonl(trace.to_jsonl())
+    assert restored.records == trace.records
+
+
+def test_save_and_load(tmp_path):
+    trace = record_execution(
+        counter_program(threads=2, iterations=2), RandomScheduler(seed=3)
+    )
+    path = tmp_path / "run.trace.jsonl"
+    trace.save(str(path))
+    assert Trace.load(str(path)).records == trace.records
+
+
+def test_access_records_carry_field_identity():
+    trace = record_execution(
+        counter_program(threads=1, iterations=1), RandomScheduler(seed=1)
+    )
+    accesses = [r for r in trace.records if r[0] == ACCESS]
+    fields = {r[5] for r in accesses}
+    assert "value" in fields

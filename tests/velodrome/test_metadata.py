@@ -1,0 +1,60 @@
+"""Per-field metadata words."""
+
+from repro.core.transactions import Transaction
+from repro.velodrome.metadata import FieldMetadata, MetadataTable
+
+
+def tx(tx_id, thread="T1"):
+    return Transaction(tx_id, thread, f"m{tx_id}", False)
+
+
+class TestFieldMetadata:
+    def test_read_change_detection(self):
+        meta = FieldMetadata()
+        t = tx(1)
+        assert meta.would_change_on_read(t)
+        meta.last_readers["T1"] = t
+        assert not meta.would_change_on_read(t)
+        assert meta.would_change_on_read(tx(2, "T2"))
+
+    def test_write_change_detection(self):
+        meta = FieldMetadata()
+        t = tx(1)
+        assert meta.would_change_on_write(t)
+        meta.last_writer = t
+        assert not meta.would_change_on_write(t)
+        # readers present: the write must clear them
+        meta.last_readers["T2"] = tx(2, "T2")
+        assert meta.would_change_on_write(t)
+
+
+class TestMetadataTable:
+    def test_lookup_creates_once(self):
+        table = MetadataTable()
+        a = table.lookup((1, "f"))
+        assert table.lookup((1, "f")) is a
+        assert len(table) == 1
+
+    def test_peek_does_not_create(self):
+        table = MetadataTable()
+        assert table.peek((1, "f")) is None
+        assert len(table) == 0
+
+    def test_purge_collected(self):
+        table = MetadataTable()
+        meta = table.lookup((1, "f"))
+        dead, live = tx(1), tx(2, "T2")
+        dead.collected = True
+        meta.last_writer = dead
+        meta.last_readers = {"T1": dead, "T2": live}
+        cleared = table.purge_collected()
+        assert cleared == 2
+        assert meta.last_writer is None
+        assert meta.last_readers == {"T2": live}
+
+    def test_live_reference_count(self):
+        table = MetadataTable()
+        meta = table.lookup((1, "f"))
+        meta.last_writer = tx(1)
+        meta.last_readers["T2"] = tx(2, "T2")
+        assert table.live_reference_count() == 2

@@ -1,0 +1,100 @@
+"""The unsound Velodrome variant."""
+
+import pytest
+
+from repro.runtime.scheduler import RandomScheduler
+from repro.velodrome.checker import VelodromeChecker
+from repro.velodrome.unsound import MetadataRaceError, UnsoundVelodrome
+
+from tests.util import counter_program, spec_for
+
+
+def scheduler(seed=1, switch=0.8):
+    return RandomScheduler(seed=seed, switch_prob=switch)
+
+
+def _locality_program():
+    """Transactions re-reading the same field: the unsound variant's
+    metadata is already current on the repeats, so it skips their
+    synchronization."""
+    from repro.runtime.ops import Invoke, Read, Write
+    from repro.runtime.program import Program
+
+    program = Program("locality")
+    shared = program.add_global_object("shared")
+
+    def scan(ctx):
+        for _ in range(6):
+            yield Read(shared, "x")
+        yield Write(shared, "x", 1)
+
+    def worker(ctx):
+        for _ in range(10):
+            yield Invoke("scan")
+
+    program.method(scan, name="scan")
+    program.method(worker, name="worker")
+    program.mark_entry("worker")
+    program.add_thread("A", "worker")
+    program.add_thread("B", "worker")
+    return program
+
+
+def test_pays_fewer_atomic_operations():
+    sound = VelodromeChecker(spec_for(_locality_program())).run(
+        _locality_program(), scheduler()
+    )
+    unsound = UnsoundVelodrome(spec_for(_locality_program())).run(
+        _locality_program(), scheduler()
+    )
+    assert unsound.stats.atomic_operations < sound.stats.atomic_operations
+    assert unsound.stats.memory_fences < sound.stats.memory_fences
+
+
+def test_can_lose_metadata_updates_under_contention():
+    program = counter_program(threads=4, iterations=40, gap=0)
+    checker = UnsoundVelodrome(
+        spec_for(program), seed=3, loss_prob=0.5, race_window=20
+    )
+    result = checker.run(program, scheduler(seed=3, switch=0.9))
+    assert result.stats.lost_metadata_updates > 0
+
+
+def test_crashes_under_metadata_race_storm():
+    program = counter_program(threads=4, iterations=60, gap=0)
+    checker = UnsoundVelodrome(
+        spec_for(program), seed=1, race_window=30, crash_threshold=5
+    )
+    with pytest.raises(MetadataRaceError):
+        checker.run(program, scheduler(seed=2, switch=0.9))
+
+
+def test_no_crash_when_threshold_disabled():
+    program = counter_program(threads=4, iterations=40, gap=0)
+    checker = UnsoundVelodrome(spec_for(program), seed=1, crash_threshold=None)
+    checker.run(program, scheduler(seed=2, switch=0.9))  # must not raise
+
+
+def test_lock_protected_updates_never_race():
+    program = counter_program(threads=4, iterations=30, locked=True)
+    checker = UnsoundVelodrome(
+        spec_for(program), seed=1, loss_prob=1.0, race_window=1000
+    )
+    result = checker.run(program, scheduler(seed=4, switch=0.9))
+    assert result.stats.lost_metadata_updates == 0
+    assert result.blamed_methods == set()
+
+
+def test_deterministic_given_seed():
+    def run():
+        program = counter_program(threads=3, iterations=30, gap=0)
+        checker = UnsoundVelodrome(
+            spec_for(program), seed=9, loss_prob=0.3, race_window=10
+        )
+        result = checker.run(program, scheduler(seed=9, switch=0.9))
+        return (
+            result.stats.lost_metadata_updates,
+            frozenset(result.blamed_methods),
+        )
+
+    assert run() == run()

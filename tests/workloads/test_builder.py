@@ -1,0 +1,116 @@
+"""Workload synthesis mechanics."""
+
+import pytest
+
+from repro.runtime.executor import run_program
+from repro.runtime.scheduler import RandomScheduler
+from repro.workloads.builder import WorkloadSpec, build_program
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        name="unit",
+        threads=2,
+        iterations=6,
+        shared_objects=3,
+        readonly_objects=2,
+        violating_methods=2,
+        safe_methods=4,
+        unary_ops=1,
+        pad=2,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+class TestStructure:
+    def test_builds_runnable_program(self):
+        program = build_program(small_spec())
+        program.validate()
+        result = run_program(program, RandomScheduler(seed=1))
+        assert result.steps > 0
+
+    def test_method_population(self):
+        program = build_program(small_spec())
+        names = program.method_names()
+        assert "worker" in names and "main" in names
+        assert any(n.startswith("unsafe_op") for n in names)
+        assert any(n.startswith("locked_op") for n in names)
+
+    def test_fork_join_structure(self):
+        program = build_program(small_spec())
+        assert [t.name for t in program.threads] == ["main"]
+
+    def test_flat_thread_structure(self):
+        program = build_program(small_spec(fork_join=False))
+        assert len(program.threads) == 2
+
+    def test_worker_marked_entry(self):
+        program = build_program(small_spec())
+        assert "worker" in program.entry_methods()
+
+    def test_structure_seed_is_name_stable(self):
+        a = small_spec()
+        b = small_spec()
+        assert a.structure_seed() == b.structure_seed()
+        assert small_spec(name="other").structure_seed() != a.structure_seed()
+
+
+class TestFeatures:
+    def test_ring_methods(self):
+        program = build_program(small_spec(ring_size=3))
+        rings = [n for n in program.method_names() if n.startswith("ring_op")]
+        assert len(rings) == 3
+
+    def test_sliced_methods(self):
+        program = build_program(small_spec(sliced_methods=2))
+        assert sum(
+            1 for n in program.method_names() if n.startswith("sliced_op")
+        ) == 2
+
+    def test_long_transaction_method(self):
+        program = build_program(small_spec(long_transaction_iters=10))
+        assert "render_scene" in program.methods
+
+    def test_wait_notify_threads(self):
+        program = build_program(small_spec(wait_notify_pairs=1))
+        assert "producer" in program.methods
+        assert program.lookup("withdraw").interrupting
+        run_program(program, RandomScheduler(seed=3))  # terminates
+
+    def test_array_traffic_present(self):
+        program = build_program(small_spec(array_ops=2, array_length=8))
+        result = run_program(program, RandomScheduler(seed=1))
+        grid = program.make_context().grid
+        assert sum(grid.elements) > 0
+
+    def test_disjoint_workers_do_not_conflict(self):
+        from repro.core.doublechecker import DoubleChecker
+        from repro.spec.specification import AtomicitySpecification
+
+        spec_obj = small_spec(disjoint=True, violating_methods=0)
+        program = build_program(spec_obj)
+        spec = AtomicitySpecification.initial(program)
+        result = DoubleChecker(spec).run_single(
+            build_program(spec_obj), RandomScheduler(seed=2, switch_prob=0.7)
+        )
+        assert result.icd_stats.sccs == 0
+
+    def test_deterministic_schedules_across_builds(self):
+        """The same spec always produces the same invocation schedules."""
+        def trace(spec):
+            program = build_program(spec)
+            events = []
+
+            from repro.runtime.listeners import ExecutionListener
+
+            class Collect(ExecutionListener):
+                def on_method_enter(self, thread, method, depth):
+                    events.append((thread, method))
+
+            from repro.runtime.executor import Executor
+
+            Executor(program, RandomScheduler(seed=9), [Collect()]).run()
+            return events
+
+        assert trace(small_spec()) == trace(small_spec())

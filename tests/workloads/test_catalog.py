@@ -1,0 +1,127 @@
+"""The benchmark catalog: structure, determinism, calibrated profiles."""
+
+import pytest
+
+from repro.core.doublechecker import DoubleChecker
+from repro.runtime.scheduler import RandomScheduler
+from repro.spec.specification import AtomicitySpecification
+from repro.workloads import all_names, build, compute_bound_names, get_spec
+from repro.workloads.catalog import NOT_COMPUTE_BOUND
+
+PAPER_BENCHMARKS = [
+    "eclipse6", "hsqldb6", "lusearch6", "xalan6", "avrora9", "jython9",
+    "luindex9", "lusearch9", "pmd9", "sunflow9", "xalan9", "elevator",
+    "hedc", "philo", "sor", "tsp", "moldyn", "montecarlo", "raytracer",
+]
+
+
+def test_all_nineteen_benchmarks_present():
+    assert all_names() == PAPER_BENCHMARKS
+
+
+def test_compute_bound_excludes_paper_trio():
+    names = compute_bound_names()
+    assert set(NOT_COMPUTE_BOUND) == {"elevator", "hedc", "philo"}
+    assert len(names) == 16
+    assert not set(NOT_COMPUTE_BOUND) & set(names)
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(KeyError):
+        get_spec("nope")
+
+
+@pytest.mark.parametrize("name", PAPER_BENCHMARKS)
+def test_every_benchmark_builds_and_validates(name):
+    program = build(name)
+    program.validate()
+    assert program.methods
+    assert program.threads
+
+
+def test_builds_are_structurally_deterministic():
+    a = build("eclipse6")
+    b = build("eclipse6")
+    assert a.method_names() == b.method_names()
+    assert [t.method for t in a.threads] == [t.method for t in b.threads]
+
+
+@pytest.mark.parametrize("name", ["jython9", "luindex9", "pmd9", "sor", "moldyn"])
+def test_disjoint_benchmarks_have_no_violations(name):
+    program = build(name)
+    spec = AtomicitySpecification.initial(program)
+    result = DoubleChecker(spec).run_single(
+        build(name), RandomScheduler(seed=17, switch_prob=0.6)
+    )
+    assert result.blamed_methods == set()
+
+
+@pytest.mark.parametrize("name", ["eclipse6", "xalan6", "hsqldb6", "xalan9"])
+def test_buggy_benchmarks_report_violations(name):
+    program = build(name)
+    spec = AtomicitySpecification.initial(program)
+    result = DoubleChecker(spec).run_single(
+        build(name), RandomScheduler(seed=17, switch_prob=0.6)
+    )
+    assert result.blamed_methods
+
+
+def test_eclipse6_has_largest_bug_population():
+    counts = {n: get_spec(n).violating_methods for n in PAPER_BENCHMARKS}
+    assert counts["eclipse6"] == max(counts.values())
+
+
+def test_oom_hazard_benchmarks_declare_adjustments():
+    assert "render_scene" in get_spec("raytracer").spec_adjustments
+    assert "render_scene" in get_spec("sunflow9").spec_adjustments
+
+
+def test_philo_uses_wait_notify():
+    assert get_spec("philo").wait_notify_pairs > 0
+    program = build("philo")
+    assert "withdraw" in program.methods
+    assert program.lookup("withdraw").interrupting
+
+
+def test_tsp_is_unary_dominated():
+    spec = get_spec("tsp")
+    assert spec.unary_ops >= 10
+
+
+def test_xalan6_is_the_imprecision_storm():
+    spec = get_spec("xalan6")
+    assert spec.sliced_methods > 0
+    assert spec.sliced_weight >= 0.3
+
+
+def test_long_transactions_exhaust_pcd_budget():
+    """raytracer's long atomic region OOMs PCD unless its method is
+    excluded — the paper's Section 5.1 adjustment.  The hazard is
+    schedule-dependent (the long transaction must land in an imprecise
+    cycle), so several seeds are tried; the adjusted specification must
+    be clean on every one of them."""
+    from repro.errors import OutOfMemoryBudget
+    from repro.harness.runner import make_scheduler
+
+    seeds = range(6)
+    oomed = False
+    for seed in seeds:
+        program = build("raytracer")
+        spec = AtomicitySpecification.initial(program)
+        assert spec.is_atomic("render_scene")
+        checker = DoubleChecker(spec, pcd_memory_budget=2_000)
+        try:
+            checker.run_single(program, make_scheduler(seed))
+        except OutOfMemoryBudget as error:
+            assert error.component == "PCD"
+            oomed = True
+    assert oomed, "the long-transaction hazard never fired"
+
+    for seed in seeds:
+        program = build("raytracer")
+        adjusted = AtomicitySpecification.initial(program).exclude(
+            ["render_scene"]
+        )
+        DoubleChecker(adjusted, pcd_memory_budget=2_000).run_single(
+            program, make_scheduler(seed)
+        )  # must not raise
