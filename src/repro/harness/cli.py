@@ -4,7 +4,12 @@ Regenerates the paper's evaluation artefacts as text tables::
 
     doublechecker-experiments table2
     doublechecker-experiments figure7 --names eclipse6 xalan6
-    doublechecker-experiments all --out results/
+    doublechecker-experiments all --out results/ --jobs 4
+
+``--jobs N`` (or the ``DOUBLECHECKER_JOBS`` environment variable) fans
+independent (workload, checker, seed) cells across N worker processes;
+``--jobs 0`` uses one worker per CPU.  Rendered tables are identical
+for any job count.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ import sys
 from typing import List, Optional
 
 from repro.harness import figure7, section54, table2, table3
+from repro.harness.parallel import CellPool
 
 EXPERIMENTS = (
     "table2",
@@ -28,23 +34,27 @@ EXPERIMENTS = (
 )
 
 
-def _generate(experiment: str, names: Optional[List[str]]) -> str:
+def _generate(
+    experiment: str,
+    names: Optional[List[str]],
+    pool: Optional[CellPool] = None,
+) -> str:
     if experiment == "table2":
-        return table2.generate(names).render()
+        return table2.generate(names, pool=pool).render()
     if experiment == "table3":
-        return table3.generate(names).render()
+        return table3.generate(names, pool=pool).render()
     if experiment == "figure7":
-        return figure7.generate(names).render()
+        return figure7.generate(names, pool=pool).render()
     if experiment == "unsound":
-        return section54.unsound_velodrome(names).render()
+        return section54.unsound_velodrome(names, pool=pool).render()
     if experiment == "refinement-phases":
-        return section54.refinement_phases(names).render()
+        return section54.refinement_phases(names, pool=pool).render()
     if experiment == "arrays":
-        return section54.arrays(names).render()
+        return section54.arrays(names, pool=pool).render()
     if experiment == "pcd-only":
-        return section54.pcd_only(names).render()
+        return section54.pcd_only(names, pool=pool).render()
     if experiment == "second-run-variants":
-        return section54.second_run_variants(names).render()
+        return section54.second_run_variants(names, pool=pool).render()
     raise ValueError(f"unknown experiment: {experiment}")
 
 
@@ -69,18 +79,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="directory to write <experiment>.txt files into",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for independent cells (0 = one per CPU; "
+            "default: $DOUBLECHECKER_JOBS or serial)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     experiments = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for experiment in experiments:
-        rendered = _generate(experiment, args.names)
-        print(rendered)
-        print()
-        if args.out:
-            os.makedirs(args.out, exist_ok=True)
-            path = os.path.join(args.out, f"{experiment}.txt")
-            with open(path, "w") as handle:
-                handle.write(rendered + "\n")
+    with CellPool(args.jobs) as pool:
+        for experiment in experiments:
+            rendered = _generate(experiment, args.names, pool=pool)
+            print(rendered)
+            print()
+            if args.out:
+                os.makedirs(args.out, exist_ok=True)
+                path = os.path.join(args.out, f"{experiment}.txt")
+                with open(path, "w") as handle:
+                    handle.write(rendered + "\n")
     return 0
 
 

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.static_info import StaticTransactionInfo
 from repro.costs.model import CostModel
 from repro.harness import runner
+from repro.harness.parallel import CellPool, ensure_pool
 from repro.harness.rendering import render_table
 from repro.stats.summary import geomean, median
 from repro.workloads import compute_bound_names
@@ -127,20 +128,63 @@ def generate(
     first_trials: int = 2,
     seed_base: int = 50_000,
     model: Optional[CostModel] = None,
+    jobs: Optional[int] = None,
+    pool: Optional[CellPool] = None,
 ) -> Figure7Result:
-    """Regenerate Figure 7 (default: the 16 compute-bound benchmarks)."""
+    """Regenerate Figure 7 (default: the 16 compute-bound benchmarks).
+
+    All (benchmark, configuration, seed) cells are independent, so
+    they run in two global fan-out stages across ``jobs`` workers:
+    first every baseline/Velodrome/single/first cell of every
+    benchmark, then every second-run cell (which needs the first runs'
+    static-transaction info).  Results are aggregated in submission
+    order, so the rendered figure is byte-identical for any job count.
+    """
     model = model or CostModel()
+    selected = list(names or compute_bound_names())
+    seeds = [seed_base + i for i in range(trials)]
+    with ensure_pool(pool, jobs) as cells:
+        specs = {name: runner.final_spec(name, pool=cells) for name in selected}
+
+        # stage 1: everything that does not depend on first-run output
+        stage1 = []
+        for name in selected:
+            spec = specs[name]
+            stage1 += [("baseline", name, None, s) for s in seeds]
+            stage1 += [("velodrome", name, spec, s) for s in seeds]
+            stage1 += [("single", name, spec, s) for s in seeds]
+            stage1 += [("first", name, spec, s) for s in seeds]
+            stage1 += [
+                ("first", name, spec, seed_base + 100 + i)
+                for i in range(first_trials)
+            ]
+        stride = 4 * trials + first_trials
+        results1 = cells.starmap(runner.run_cell, stage1)
+
+        # stage 2: second runs, restricted to the statically identified
+        # transactions from the extra first runs
+        infos = {}
+        stage2 = []
+        for index, name in enumerate(selected):
+            chunk = results1[index * stride:(index + 1) * stride]
+            infos[name] = StaticTransactionInfo.union_all(
+                r.static_info for r in chunk[4 * trials:]
+            )
+            stage2 += [("second", name, specs[name], s, infos[name]) for s in seeds]
+        results2 = cells.starmap(runner.run_cell, stage2)
+
     rows = []
-    for name in names or compute_bound_names():
-        spec = runner.final_spec(name)
-        seeds = [seed_base + i for i in range(trials)]
+    for index, name in enumerate(selected):
+        chunk = results1[index * stride:(index + 1) * stride]
+        baselines = chunk[:trials]
+        velodrome = chunk[trials:2 * trials]
+        single = chunk[2 * trials:3 * trials]
+        firsts = chunk[3 * trials:4 * trials]
+        seconds = results2[index * trials:(index + 1) * trials]
 
-        baselines = [runner.baseline_steps(name, s) for s in seeds]
         base_wall = median([b.elapsed_seconds for b in baselines])
-
         row = Figure7Row(name)
 
-        velodrome = [runner.run_velodrome(name, spec, s) for s in seeds]
         breakdowns = [model.velodrome(r) for r in velodrome]
         row.normalized["velodrome"] = median(
             [b.normalized_time for b in breakdowns]
@@ -150,7 +194,6 @@ def generate(
             median([r.elapsed_seconds for r in velodrome]) / base_wall
         )
 
-        single = [runner.run_single(name, spec, s) for s in seeds]
         breakdowns = [model.double_checker_single(r) for r in single]
         row.normalized["single"] = median([b.normalized_time for b in breakdowns])
         row.gc_fraction["single"] = median([b.gc_fraction for b in breakdowns])
@@ -158,7 +201,6 @@ def generate(
             median([r.elapsed_seconds for r in single]) / base_wall
         )
 
-        firsts = [runner.run_first(name, spec, s) for s in seeds]
         breakdowns = [model.double_checker_first(r) for r in firsts]
         row.normalized["first"] = median([b.normalized_time for b in breakdowns])
         row.gc_fraction["first"] = median([b.gc_fraction for b in breakdowns])
@@ -166,11 +208,6 @@ def generate(
             median([r.elapsed_seconds for r in firsts]) / base_wall
         )
 
-        info = StaticTransactionInfo.union_all(
-            runner.run_first(name, spec, seed_base + 100 + i).static_info
-            for i in range(first_trials)
-        )
-        seconds = [runner.run_second(name, spec, info, s) for s in seeds]
         breakdowns = [model.double_checker_single(r) for r in seconds]
         row.normalized["second"] = median([b.normalized_time for b in breakdowns])
         row.gc_fraction["second"] = median([b.gc_fraction for b in breakdowns])

@@ -1,0 +1,159 @@
+"""Parallel execution of independent experiment cells.
+
+Every paper artefact (Table 2, Table 3, Figure 7, the Section 5.3/5.4
+studies) is an aggregation over independent (workload, checker, seed)
+cells: each cell builds its own program, runs its own seeded scheduler,
+and shares no state with any other cell.  That makes the experiment
+harness embarrassingly parallel, and — because the cells are separate
+*processes* — entirely unconstrained by the GIL.
+
+:class:`CellPool` fans cells across worker processes via
+:class:`concurrent.futures.ProcessPoolExecutor`:
+
+* **Workers rebuild programs from workload names.**  Cell functions
+  receive the workload *name* and call :func:`repro.workloads.build`
+  inside the worker; :class:`~repro.runtime.program.Program` objects
+  (closures over generator bodies) are never pickled.  Specifications,
+  static-transaction info, and checker results are all plain picklable
+  data.
+* **Ordered results.**  :meth:`CellPool.starmap` returns results in
+  submission order regardless of completion order, so any aggregation
+  (medians, unions, geomeans) observes exactly the sequence the serial
+  path would — rendered tables are byte-identical for any job count.
+* **Read-only caches in workers.**  Workers are initialized with
+  :func:`repro.harness.runner.set_cache_readonly`, so only the parent
+  process ever writes the final-spec disk cache (see
+  :func:`repro.harness.runner._store_cache`).
+
+The job count comes from (highest precedence first) an explicit
+``jobs=`` argument, the ``--jobs`` CLI flag, or the
+``DOUBLECHECKER_JOBS`` environment variable; the default is serial.
+``jobs=1`` executes cells inline in the parent process — no worker
+processes, no pickling — which is also the fallback the pool uses when
+process creation is unavailable.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: environment variable consulted when no explicit job count is given
+JOBS_ENV = "DOUBLECHECKER_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Determine the worker count.
+
+    ``None`` falls back to ``DOUBLECHECKER_JOBS`` (and then to 1);
+    ``0`` or a negative count means "one worker per CPU".
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{JOBS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def _init_worker() -> None:
+    """Worker initializer: never write shared on-disk caches."""
+    from repro.harness import runner
+
+    runner.set_cache_readonly(True)
+
+
+class CellPool:
+    """Run independent experiment cells, optionally across processes.
+
+    Args:
+        jobs: worker count (see :func:`resolve_jobs`).  With ``jobs=1``
+            every call executes inline and the pool is free.
+
+    The pool is a context manager; exiting shuts the workers down.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        if self.jobs > 1:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs, initializer=_init_worker
+            )
+
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable[..., Any], /, *args: Any) -> "Future[Any]":
+        """Schedule one cell; returns a future (completed futures in
+        serial mode, so result order always equals submission order)."""
+        if self._executor is None:
+            future: "Future[Any]" = Future()
+            try:
+                future.set_result(fn(*args))
+            except BaseException as exc:  # noqa: BLE001 - mirror executor
+                future.set_exception(exc)
+            return future
+        return self._executor.submit(fn, *args)
+
+    def starmap(
+        self,
+        fn: Callable[..., Any],
+        argslists: Iterable[Sequence[Any]],
+    ) -> List[Any]:
+        """Run ``fn(*args)`` for each args tuple; ordered results.
+
+        The parallel path submits everything up front and collects in
+        submission order, so the returned list is positionally
+        identical to ``[fn(*args) for args in argslists]``.
+        """
+        pending: List[Tuple[Callable[..., Any], Sequence[Any]]] = [
+            (fn, tuple(args)) for args in argslists
+        ]
+        if self._executor is None:
+            return [f(*args) for f, args in pending]
+        futures = [self._executor.submit(f, *args) for f, args in pending]
+        return [future.result() for future in futures]
+
+    def map(self, fn: Callable[..., Any], items: Iterable[Any]) -> List[Any]:
+        """Like :meth:`starmap` for single-argument cells."""
+        return self.starmap(fn, [(item,) for item in items])
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "CellPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+@contextmanager
+def ensure_pool(
+    pool: Optional[CellPool], jobs: Optional[int] = None
+) -> Iterator[CellPool]:
+    """Yield ``pool`` if given, else a fresh :class:`CellPool` that is
+    closed on exit.  Lets experiment entry points accept either an
+    explicit pool (shared across experiments) or a ``jobs`` count."""
+    if pool is not None:
+        yield pool
+        return
+    owned = CellPool(jobs)
+    try:
+        yield owned
+    finally:
+        owned.close()
+
+
+__all__ = ["CellPool", "JOBS_ENV", "ensure_pool", "resolve_jobs"]

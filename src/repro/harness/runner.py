@@ -16,8 +16,12 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.harness.parallel import CellPool
 
 from repro.core.doublechecker import (
     DoubleChecker,
@@ -140,6 +144,64 @@ def run_multi(
 
 
 # ----------------------------------------------------------------------
+# generic cells (picklable: safe to ship to CellPool workers)
+# ----------------------------------------------------------------------
+def refine_trial(
+    name: str,
+    checker: str,
+    spec: AtomicitySpecification,
+    trial: int,
+    seed_base: int = 0,
+    first_trials: int = 2,
+) -> Set[str]:
+    """One refinement trial under ``spec``; returns the blamed methods.
+
+    A module-level function (rather than a closure) so
+    :class:`~repro.harness.parallel.CellPool` can pickle it to worker
+    processes; the worker rebuilds the program from ``name``.
+    """
+    if checker == "velodrome":
+        return run_velodrome(name, spec, seed_base + trial).blamed_methods
+    if checker == "single":
+        return run_single(name, spec, seed_base + trial).blamed_methods
+    if checker == "multi":
+        result = run_multi(
+            name, spec, seed_base + trial, first_trials=first_trials
+        )
+        return result.violations.blamed_methods()
+    raise ValueError(f"unknown checker: {checker!r}")
+
+
+def run_cell(
+    kind: str,
+    name: str,
+    spec: Optional[AtomicitySpecification],
+    seed: int,
+    info: Optional[StaticTransactionInfo] = None,
+):
+    """Dispatch one (configuration, workload, seed) cell by kind.
+
+    ``kind`` is ``"baseline"``, ``"velodrome"``, ``"single"``,
+    ``"first"``, or ``"second"`` (the latter requires ``info``).
+    Experiments submit heterogeneous batches of these to a
+    :class:`~repro.harness.parallel.CellPool` in one go.
+    """
+    if kind == "baseline":
+        return baseline_steps(name, seed)
+    if kind == "velodrome":
+        return run_velodrome(name, spec, seed)
+    if kind == "single":
+        return run_single(name, spec, seed)
+    if kind == "first":
+        return run_first(name, spec, seed)
+    if kind == "second":
+        if info is None:
+            raise ValueError("second-run cells need static-transaction info")
+        return run_second(name, spec, info, seed)
+    raise ValueError(f"unknown cell kind: {kind!r}")
+
+
+# ----------------------------------------------------------------------
 # refinement per checker
 # ----------------------------------------------------------------------
 def refine(
@@ -149,32 +211,40 @@ def refine(
     trials_per_step: int = 3,
     seed_base: int = 0,
     first_trials: int = 2,
+    pool: Optional["CellPool"] = None,
 ) -> RefinementResult:
     """Run iterative refinement with one checker configuration.
 
     ``checker`` is ``"velodrome"``, ``"single"``, or ``"multi"``.
+    Refinement steps are inherently serial (each step's spec depends on
+    the previous step's blames), but the ``trials_per_step`` runs
+    inside one step are independent; passing ``pool`` fans them across
+    workers.  Trial seeds do not depend on the execution order, so the
+    parallel path converges to exactly the serial result.
     """
     spec0 = initial_spec(name)
 
-    def velodrome_runner(spec: AtomicitySpecification, trial: int) -> Set[str]:
-        return run_velodrome(name, spec, seed_base + trial).blamed_methods
+    def trial_runner(spec: AtomicitySpecification, trial: int) -> Set[str]:
+        return refine_trial(name, checker, spec, trial, seed_base, first_trials)
 
-    def single_runner(spec: AtomicitySpecification, trial: int) -> Set[str]:
-        return run_single(name, spec, seed_base + trial).blamed_methods
+    step_runner = None
+    if pool is not None:
+        def step_runner(
+            spec: AtomicitySpecification, trials: Sequence[int]
+        ) -> List[Set[str]]:
+            return pool.starmap(
+                refine_trial,
+                [
+                    (name, checker, spec, trial, seed_base, first_trials)
+                    for trial in trials
+                ],
+            )
 
-    def multi_runner(spec: AtomicitySpecification, trial: int) -> Set[str]:
-        result = run_multi(
-            name, spec, seed_base + trial, first_trials=first_trials
-        )
-        return result.violations.blamed_methods()
-
-    runners: Dict[str, Callable[[AtomicitySpecification, int], Set[str]]] = {
-        "velodrome": velodrome_runner,
-        "single": single_runner,
-        "multi": multi_runner,
-    }
     return iterative_refinement(
-        spec0, runners[checker], trials_per_step=trials_per_step
+        spec0,
+        trial_runner,
+        trials_per_step=trials_per_step,
+        step_runner=step_runner,
     )
 
 
@@ -182,6 +252,17 @@ def refine(
 # final specifications (cached)
 # ----------------------------------------------------------------------
 _FINAL_SPEC_MEMO: Dict[str, AtomicitySpecification] = {}
+
+#: when true (set in CellPool workers) the on-disk cache is read-only:
+#: the parent process is the sole writer, so parallel workers can never
+#: interleave read-modify-write cycles on the cache file
+_CACHE_READONLY = False
+
+
+def set_cache_readonly(readonly: bool = True) -> None:
+    """Toggle read-only cache mode (workers must never write)."""
+    global _CACHE_READONLY
+    _CACHE_READONLY = readonly
 
 
 def _cache_path() -> str:
@@ -198,18 +279,46 @@ def _load_cache() -> Dict[str, List[str]]:
 
 
 def _store_cache(cache: Dict[str, List[str]]) -> None:
+    """Atomically replace the cache file.
+
+    Writing to a temporary file in the same directory and
+    :func:`os.replace`-ing it over the destination means readers never
+    observe a half-written file, even with concurrent processes; the
+    read-modify-write cycle itself is confined to the parent process
+    (workers run with :func:`set_cache_readonly`).
+    """
+    if _CACHE_READONLY:
+        return
+    path = _cache_path()
     try:
-        with open(_cache_path(), "w") as handle:
-            json.dump(cache, handle, indent=1, sort_keys=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".final_specs-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(cache, handle, indent=1, sort_keys=True)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
     except OSError:
         pass  # caching is best-effort
 
 
-def final_spec(name: str, *, use_cache: bool = True) -> AtomicitySpecification:
+def final_spec(
+    name: str,
+    *,
+    use_cache: bool = True,
+    pool: Optional["CellPool"] = None,
+) -> AtomicitySpecification:
     """The refined specification used by performance experiments.
 
     The intersection of the specs Velodrome and single-run mode each
     converge to, avoiding bias toward one approach (Section 5.1).
+    ``pool`` parallelizes the refinement trials on a cache miss.
     """
     if name in _FINAL_SPEC_MEMO:
         return _FINAL_SPEC_MEMO[name]
@@ -219,8 +328,8 @@ def final_spec(name: str, *, use_cache: bool = True) -> AtomicitySpecification:
         excluded = [m for m in cache[name] if m in spec0.all_methods]
         spec = spec0.exclude(excluded)
     else:
-        velodrome = refine(name, "velodrome", seed_base=0)
-        single = refine(name, "single", seed_base=10_000)
+        velodrome = refine(name, "velodrome", seed_base=0, pool=pool)
+        single = refine(name, "single", seed_base=10_000, pool=pool)
         spec = velodrome.final_spec.intersect(single.final_spec)
         cache[name] = sorted(spec.excluded)
         if use_cache:

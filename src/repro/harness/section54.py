@@ -28,11 +28,86 @@ from repro.core.static_info import StaticTransactionInfo
 from repro.costs.model import CostModel
 from repro.errors import OutOfMemoryBudget
 from repro.harness import runner
+from repro.harness.parallel import CellPool, ensure_pool
 from repro.harness.rendering import render_table
 from repro.stats.summary import geomean, median
 from repro.velodrome.checker import VelodromeChecker
 from repro.velodrome.unsound import MetadataRaceError, UnsoundVelodrome
 from repro.workloads import build, compute_bound_names
+
+
+# ----------------------------------------------------------------------
+# picklable cell functions (module-level so CellPool can ship them to
+# worker processes; each rebuilds its program from the workload name)
+# ----------------------------------------------------------------------
+def _sound_velodrome_cell(name, spec, seed, model) -> float:
+    return model.velodrome(runner.run_velodrome(name, spec, seed)).normalized_time
+
+
+def _unsound_velodrome_cell(
+    name, spec, seed, crash_threshold, model
+) -> Optional[float]:
+    """One unsound-Velodrome trial; ``None`` signals a metadata-race crash."""
+    checker = UnsoundVelodrome(spec, seed=seed, crash_threshold=crash_threshold)
+    try:
+        result = checker.run(build(name), runner.make_scheduler(seed))
+    except MetadataRaceError:
+        return None
+    return model.velodrome(result).normalized_time
+
+
+def _single_norm_cell(name, spec, seed, model) -> float:
+    return model.double_checker_single(
+        runner.run_single(name, spec, seed)
+    ).normalized_time
+
+
+def _array_cell(name, spec, seed, instrument, which, model) -> float:
+    """One array-instrumentation trial for ``which`` in {"dc", "vel"}."""
+    if which == "dc":
+        checker = DoubleChecker(
+            spec,
+            instrument_arrays=instrument,
+            array_granularity_object=True,
+            cycle_detection=False,
+        )
+        result = checker.run_single(build(name), runner.make_scheduler(seed))
+        return model.double_checker_single(result).normalized_time
+    checker = VelodromeChecker(
+        spec,
+        instrument_arrays=instrument,
+        array_granularity_object=True,
+        cycle_detection=False,
+    )
+    result = checker.run(build(name), runner.make_scheduler(seed))
+    return model.velodrome(result).normalized_time
+
+
+def _pcd_only_cell(name, spec, seed, pcd_memory_budget, model) -> Optional[float]:
+    """One PCD-only trial; ``None`` signals the memory budget blew."""
+    checker = DoubleChecker(spec, pcd_memory_budget=pcd_memory_budget)
+    try:
+        result = checker.run_pcd_only(build(name), runner.make_scheduler(seed))
+    except OutOfMemoryBudget:
+        return None
+    return model.double_checker_single(result).normalized_time
+
+
+def _second_norm_cell(name, spec, info, seed, always_unary, model) -> float:
+    result = runner.run_second(
+        name, spec, info, seed, always_instrument_unary=always_unary
+    )
+    return model.double_checker_single(result).normalized_time
+
+
+def _velodrome_second_cell(name, spec, info, seed, model) -> float:
+    checker = VelodromeChecker(
+        spec,
+        monitor_regular=info.monitors_method,
+        monitor_unary=info.any_unary,
+    )
+    result = checker.run(build(name), runner.make_scheduler(seed))
+    return model.velodrome(result).normalized_time
 
 
 # ----------------------------------------------------------------------
@@ -68,33 +143,33 @@ def unsound_velodrome(
     seed_base: int = 60_000,
     model: Optional[CostModel] = None,
     crash_threshold: int = 15,
+    jobs: Optional[int] = None,
+    pool: Optional[CellPool] = None,
 ) -> UnsoundVelodromeResult:
-    """Compare sound Velodrome with the unsound variant."""
+    """Compare sound Velodrome with the unsound variant.
+
+    All trials of one benchmark run as independent cells (a crash in
+    any trial marks the row as crashed, matching the serial behaviour
+    where the first crash aborts the remaining trials).
+    """
     model = model or CostModel()
+    seeds = [seed_base + i for i in range(trials)]
     rows = []
-    for name in names or compute_bound_names():
-        spec = runner.final_spec(name)
-        seeds = [seed_base + i for i in range(trials)]
-        sound = median(
-            [
-                model.velodrome(runner.run_velodrome(name, spec, s)).normalized_time
-                for s in seeds
-            ]
-        )
-        unsound_values = []
-        note = ""
-        for s in seeds:
-            checker = UnsoundVelodrome(
-                spec, seed=s, crash_threshold=crash_threshold
+    with ensure_pool(pool, jobs) as cells:
+        for name in names or compute_bound_names():
+            spec = runner.final_spec(name, pool=cells)
+            sound_values = cells.starmap(
+                _sound_velodrome_cell, [(name, spec, s, model) for s in seeds]
             )
-            try:
-                result = checker.run(build(name), runner.make_scheduler(s))
-            except MetadataRaceError:
-                note = "crash"
-                break
-            unsound_values.append(model.velodrome(result).normalized_time)
-        unsound = median(unsound_values) if unsound_values else float("nan")
-        rows.append((name, sound, unsound, note))
+            unsound_values = cells.starmap(
+                _unsound_velodrome_cell,
+                [(name, spec, s, crash_threshold, model) for s in seeds],
+            )
+            sound = median(sound_values)
+            note = "crash" if any(v is None for v in unsound_values) else ""
+            survived = [v for v in unsound_values if v is not None]
+            unsound = median(survived) if survived else float("nan")
+            rows.append((name, sound, unsound, note))
     return UnsoundVelodromeResult(rows)
 
 
@@ -132,23 +207,31 @@ def refinement_phases(
     trials: int = 2,
     seed_base: int = 70_000,
     model: Optional[CostModel] = None,
+    jobs: Optional[int] = None,
+    pool: Optional[CellPool] = None,
 ) -> RefinementPhasesResult:
-    """Single-run mode's cost at the start/halfway/end of refinement."""
+    """Single-run mode's cost at the start/halfway/end of refinement.
+
+    Refinement rounds stay serial; each round's trials and the three
+    phase measurements fan out across workers.
+    """
     model = model or CostModel()
     rows: Dict[str, Tuple[float, float, float]] = {}
-    for name in names or compute_bound_names():
-        refinement = runner.refine(name, "single", seed_base=seed_base)
-        phases = []
-        for fraction in (0.0, 0.5, 1.0):
-            spec = refinement.spec_at_fraction(fraction)
-            values = [
-                model.double_checker_single(
-                    runner.run_single(name, spec, seed_base + i)
-                ).normalized_time
+    with ensure_pool(pool, jobs) as cells:
+        for name in names or compute_bound_names():
+            refinement = runner.refine(
+                name, "single", seed_base=seed_base, pool=cells
+            )
+            batch = [
+                (name, refinement.spec_at_fraction(fraction), seed_base + i, model)
+                for fraction in (0.0, 0.5, 1.0)
                 for i in range(trials)
             ]
-            phases.append(median(values))
-        rows[name] = (phases[0], phases[1], phases[2])
+            values = cells.starmap(_single_norm_cell, batch)
+            phases = [
+                median(values[p * trials:(p + 1) * trials]) for p in range(3)
+            ]
+            rows[name] = (phases[0], phases[1], phases[2])
     return RefinementPhasesResult(rows)
 
 
@@ -189,44 +272,35 @@ def arrays(
     trials: int = 2,
     seed_base: int = 80_000,
     model: Optional[CostModel] = None,
+    jobs: Optional[int] = None,
+    pool: Optional[CellPool] = None,
 ) -> ArraysResult:
     """The Section 5.4 array-instrumentation comparison."""
     model = model or CostModel()
     selected = [
         n for n in (names or compute_bound_names()) if n not in ARRAY_EXCLUDED
     ]
+    seeds = [seed_base + i for i in range(trials)]
+    variants = [
+        (which, instrument)
+        for which in ("dc", "vel")
+        for instrument in (False, True)
+    ]
     rows: Dict[str, Tuple[float, float, float, float]] = {}
-    for name in selected:
-        spec = runner.final_spec(name)
-        seeds = [seed_base + i for i in range(trials)]
-        values = []
-        for instrument in (False, True):
-            dc_runs = []
-            for s in seeds:
-                checker = DoubleChecker(
-                    spec,
-                    instrument_arrays=instrument,
-                    array_granularity_object=True,
-                    cycle_detection=False,
-                )
-                result = checker.run_single(build(name), runner.make_scheduler(s))
-                dc_runs.append(
-                    model.double_checker_single(result).normalized_time
-                )
-            values.append(median(dc_runs))
-        for instrument in (False, True):
-            vel_runs = []
-            for s in seeds:
-                checker = VelodromeChecker(
-                    spec,
-                    instrument_arrays=instrument,
-                    array_granularity_object=True,
-                    cycle_detection=False,
-                )
-                result = checker.run(build(name), runner.make_scheduler(s))
-                vel_runs.append(model.velodrome(result).normalized_time)
-            values.append(median(vel_runs))
-        rows[name] = (values[0], values[1], values[2], values[3])
+    with ensure_pool(pool, jobs) as cells:
+        for name in selected:
+            spec = runner.final_spec(name, pool=cells)
+            batch = [
+                (name, spec, s, instrument, which, model)
+                for which, instrument in variants
+                for s in seeds
+            ]
+            results = cells.starmap(_array_cell, batch)
+            values = [
+                median(results[v * trials:(v + 1) * trials])
+                for v in range(len(variants))
+            ]
+            rows[name] = (values[0], values[1], values[2], values[3])
     return ArraysResult(rows)
 
 
@@ -267,41 +341,30 @@ def pcd_only(
     seed_base: int = 90_000,
     pcd_memory_budget: int = 9_000,
     model: Optional[CostModel] = None,
+    jobs: Optional[int] = None,
+    pool: Optional[CellPool] = None,
 ) -> PcdOnlyResult:
     """Compare single-run mode with the PCD-only variant."""
     model = model or CostModel()
+    seeds = [seed_base + i for i in range(trials)]
     rows: Dict[str, Tuple[float, Optional[float]]] = {}
     oom: List[str] = []
-    for name in names or compute_bound_names():
-        spec = runner.final_spec(name)
-        seeds = [seed_base + i for i in range(trials)]
-        single = median(
-            [
-                model.double_checker_single(
-                    runner.run_single(name, spec, s)
-                ).normalized_time
-                for s in seeds
-            ]
-        )
-        pcd_values: List[float] = []
-        failed = False
-        for s in seeds:
-            checker = DoubleChecker(spec, pcd_memory_budget=pcd_memory_budget)
-            try:
-                result = checker.run_pcd_only(
-                    build(name), runner.make_scheduler(s)
-                )
-            except OutOfMemoryBudget:
-                failed = True
-                break
-            pcd_values.append(
-                model.double_checker_single(result).normalized_time
+    with ensure_pool(pool, jobs) as cells:
+        for name in names or compute_bound_names():
+            spec = runner.final_spec(name, pool=cells)
+            single_values = cells.starmap(
+                _single_norm_cell, [(name, spec, s, model) for s in seeds]
             )
-        if failed:
-            rows[name] = (single, None)
-            oom.append(name)
-        else:
-            rows[name] = (single, median(pcd_values))
+            single = median(single_values)
+            pcd_values = cells.starmap(
+                _pcd_only_cell,
+                [(name, spec, s, pcd_memory_budget, model) for s in seeds],
+            )
+            if any(v is None for v in pcd_values):
+                rows[name] = (single, None)
+                oom.append(name)
+            else:
+                rows[name] = (single, median(pcd_values))
     return PcdOnlyResult(rows, oom)
 
 
@@ -335,44 +398,37 @@ def second_run_variants(
     first_trials: int = 2,
     seed_base: int = 95_000,
     model: Optional[CostModel] = None,
+    jobs: Optional[int] = None,
+    pool: Optional[CellPool] = None,
 ) -> SecondRunVariantsResult:
     """Evaluate the conditional-unary optimization and Velodrome-as-
     second-run."""
     model = model or CostModel()
+    seeds = [seed_base + 100 + i for i in range(trials)]
     rows: Dict[str, Tuple[float, float, float]] = {}
-    for name in names or compute_bound_names():
-        spec = runner.final_spec(name)
-        info = StaticTransactionInfo.union_all(
-            runner.run_first(name, spec, seed_base + i).static_info
-            for i in range(first_trials)
-        )
-        seeds = [seed_base + 100 + i for i in range(trials)]
-        second = median(
-            [
-                model.double_checker_single(
-                    runner.run_second(name, spec, info, s)
-                ).normalized_time
-                for s in seeds
-            ]
-        )
-        always = median(
-            [
-                model.double_checker_single(
-                    runner.run_second(
-                        name, spec, info, s, always_instrument_unary=True
-                    )
-                ).normalized_time
-                for s in seeds
-            ]
-        )
-        vel_values = []
-        for s in seeds:
-            checker = VelodromeChecker(
-                spec,
-                monitor_regular=info.monitors_method,
-                monitor_unary=info.any_unary,
+    with ensure_pool(pool, jobs) as cells:
+        for name in names or compute_bound_names():
+            spec = runner.final_spec(name, pool=cells)
+            firsts = cells.starmap(
+                runner.run_first,
+                [(name, spec, seed_base + i) for i in range(first_trials)],
             )
-            result = checker.run(build(name), runner.make_scheduler(s))
-            vel_values.append(model.velodrome(result).normalized_time)
-        rows[name] = (second, always, median(vel_values))
+            info = StaticTransactionInfo.union_all(
+                r.static_info for r in firsts
+            )
+            batch = [
+                (name, spec, info, s, always)
+                for always in (False, True)
+                for s in seeds
+            ]
+            norm = cells.starmap(
+                _second_norm_cell, [args + (model,) for args in batch]
+            )
+            second = median(norm[:trials])
+            always = median(norm[trials:])
+            vel_values = cells.starmap(
+                _velodrome_second_cell,
+                [(name, spec, info, s, model) for s in seeds],
+            )
+            rows[name] = (second, always, median(vel_values))
     return SecondRunVariantsResult(rows)

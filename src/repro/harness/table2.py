@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.harness import runner
+from repro.harness.parallel import CellPool, ensure_pool
 from repro.harness.rendering import render_table
 from repro.workloads import all_names
 
@@ -103,33 +104,41 @@ def generate(
     *,
     trials_per_step: int = 3,
     seed_base: int = 0,
+    jobs: Optional[int] = None,
+    pool: Optional[CellPool] = None,
 ) -> Table2Result:
-    """Regenerate Table 2 for the given benchmarks (default: all 19)."""
+    """Regenerate Table 2 for the given benchmarks (default: all 19).
+
+    Refinement rounds stay serial (each round depends on the last),
+    but every round's trials fan out across ``jobs`` workers; results
+    are identical for any job count.
+    """
     rows = []
-    for name in names or all_names():
-        velodrome = runner.refine(
-            name, "velodrome", trials_per_step=trials_per_step,
-            seed_base=seed_base,
-        ).all_blamed
-        single = runner.refine(
-            name, "single", trials_per_step=trials_per_step,
-            seed_base=seed_base + 10_000,
-        ).all_blamed
-        multi = runner.refine(
-            name, "multi", trials_per_step=max(2, trials_per_step - 1),
-            seed_base=seed_base + 20_000,
-        ).all_blamed
-        rows.append(
-            Table2Row(
-                name=name,
-                velodrome_total=len(velodrome),
-                velodrome_unique=len(velodrome - single),
-                single_total=len(single),
-                multi_total=len(multi),
-                multi_unique=len(multi - single),
-                velodrome_blamed=velodrome,
-                single_blamed=single,
-                multi_blamed=multi,
+    with ensure_pool(pool, jobs) as cells:
+        for name in names or all_names():
+            velodrome = runner.refine(
+                name, "velodrome", trials_per_step=trials_per_step,
+                seed_base=seed_base, pool=cells,
+            ).all_blamed
+            single = runner.refine(
+                name, "single", trials_per_step=trials_per_step,
+                seed_base=seed_base + 10_000, pool=cells,
+            ).all_blamed
+            multi = runner.refine(
+                name, "multi", trials_per_step=max(2, trials_per_step - 1),
+                seed_base=seed_base + 20_000, pool=cells,
+            ).all_blamed
+            rows.append(
+                Table2Row(
+                    name=name,
+                    velodrome_total=len(velodrome),
+                    velodrome_unique=len(velodrome - single),
+                    single_total=len(single),
+                    multi_total=len(multi),
+                    multi_unique=len(multi - single),
+                    velodrome_blamed=velodrome,
+                    single_blamed=single,
+                    multi_blamed=multi,
+                )
             )
-        )
     return Table2Result(rows)

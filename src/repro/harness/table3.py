@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.static_info import StaticTransactionInfo
 from repro.harness import runner
+from repro.harness.parallel import CellPool, ensure_pool
 from repro.harness.rendering import render_table
 from repro.stats.summary import mean
 from repro.workloads import all_names
@@ -82,23 +83,7 @@ class Table3Result:
         )
 
 
-def _collect_single(name: str, spec, seeds: Sequence[int]) -> ModeCharacteristics:
-    results = [runner.run_single(name, spec, seed) for seed in seeds]
-    return ModeCharacteristics(
-        regular_transactions=mean(
-            [r.tx_stats.regular_transactions for r in results]
-        ),
-        regular_accesses=mean([r.tx_stats.regular_accesses for r in results]),
-        unary_accesses=mean([r.tx_stats.unary_accesses for r in results]),
-        idg_edges=mean([r.icd_stats.idg_edges for r in results]),
-        sccs=mean([r.icd_stats.sccs for r in results]),
-    )
-
-
-def _collect_second(
-    name: str, spec, info: StaticTransactionInfo, seeds: Sequence[int]
-) -> ModeCharacteristics:
-    results = [runner.run_second(name, spec, info, seed) for seed in seeds]
+def _characteristics(results) -> ModeCharacteristics:
     return ModeCharacteristics(
         regular_transactions=mean(
             [r.tx_stats.regular_transactions for r in results]
@@ -116,20 +101,38 @@ def generate(
     trials: int = 3,
     first_trials: int = 2,
     seed_base: int = 40_000,
+    jobs: Optional[int] = None,
+    pool: Optional[CellPool] = None,
 ) -> Table3Result:
-    """Regenerate Table 3 (default: all 19 benchmarks)."""
+    """Regenerate Table 3 (default: all 19 benchmarks).
+
+    The statistics-gathering trials of every benchmark are independent
+    cells; with ``jobs`` workers the single-run and first-run cells fan
+    out first, then the second-run cells (which need the first runs'
+    static-transaction info).  Counters are identical to a serial run.
+    """
     rows = []
-    for name in names or all_names():
-        spec = runner.final_spec(name)
-        seeds = [seed_base + i for i in range(trials)]
-        single = _collect_single(name, spec, seeds)
-        infos = [
-            runner.run_first(name, spec, seed_base + 100 + i).static_info
-            for i in range(first_trials)
-        ]
-        info = StaticTransactionInfo.union_all(infos)
-        second = _collect_second(
-            name, spec, info, [seed_base + 200 + i for i in range(trials)]
-        )
-        rows.append(Table3Row(name, single, second))
+    with ensure_pool(pool, jobs) as cells:
+        for name in names or all_names():
+            spec = runner.final_spec(name, pool=cells)
+            seeds = [seed_base + i for i in range(trials)]
+            batch = [("single", name, spec, s) for s in seeds]
+            batch += [
+                ("first", name, spec, seed_base + 100 + i)
+                for i in range(first_trials)
+            ]
+            results = cells.starmap(runner.run_cell, batch)
+            single = _characteristics(results[:trials])
+            info = StaticTransactionInfo.union_all(
+                r.static_info for r in results[trials:]
+            )
+            seconds = cells.starmap(
+                runner.run_cell,
+                [
+                    ("second", name, spec, seed_base + 200 + i, info)
+                    for i in range(trials)
+                ],
+            )
+            second = _characteristics(seconds)
+            rows.append(Table3Row(name, single, second))
     return Table3Result(rows)

@@ -26,20 +26,45 @@ class AccessKind(enum.Enum):
     WRITE = "write"
 
 
-@dataclass(frozen=True)
 class Site:
     """A static program location: method name plus operation ordinal.
 
     Sites identify *static* transactions (multi-run mode communicates
     method start locations between runs) and static violation reports
     (Table 2 counts methods blamed at least once).
+
+    A ``__slots__`` value type rather than a dataclass: one is built
+    for every dynamic access, so construction cost is on the hot path.
+    Treat instances as immutable.
     """
 
-    method: str
-    index: int = 0
+    __slots__ = ("method", "index")
+
+    def __init__(self, method: str, index: int = 0) -> None:
+        self.method = method
+        self.index = index
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            other.__class__ is Site
+            and self.method == other.method
+            and self.index == other.index
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.method, self.index))
+
+    def __repr__(self) -> str:
+        return f"Site(method={self.method!r}, index={self.index!r})"
 
     def __str__(self) -> str:
         return f"{self.method}@{self.index}"
+
+    def __getstate__(self) -> Tuple[str, int]:
+        return (self.method, self.index)
+
+    def __setstate__(self, state: Tuple[str, int]) -> None:
+        self.method, self.index = state
 
 
 # Pseudo-field names used when synchronization is modelled as an access.
@@ -47,9 +72,13 @@ LOCK_FIELD = "<monitor>"
 THREAD_FIELD = "<thread>"
 
 
-@dataclass(frozen=True)
 class AccessEvent:
     """One dynamic shared-memory access (or synchronization pseudo-access).
+
+    A ``__slots__`` structure rather than a frozen dataclass: the
+    executor allocates one per access, making construction cost part of
+    every barrier.  Instances are immutable by convention — listeners
+    must never mutate an event they receive.
 
     Attributes:
         seq: global sequence number assigned by the executor; used only
@@ -67,14 +96,77 @@ class AccessEvent:
         site: static location of the access.
     """
 
-    seq: int
-    thread_name: str
-    obj: Any
-    fieldname: str
-    kind: AccessKind
-    is_sync: bool
-    is_array: bool
-    site: Site
+    __slots__ = (
+        "seq",
+        "thread_name",
+        "obj",
+        "fieldname",
+        "kind",
+        "is_sync",
+        "is_array",
+        "site",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        thread_name: str,
+        obj: Any,
+        fieldname: str,
+        kind: AccessKind,
+        is_sync: bool,
+        is_array: bool,
+        site: Site,
+    ) -> None:
+        self.seq = seq
+        self.thread_name = thread_name
+        self.obj = obj
+        self.fieldname = fieldname
+        self.kind = kind
+        self.is_sync = is_sync
+        self.is_array = is_array
+        self.site = site
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (
+            self.seq,
+            self.thread_name,
+            self.obj,
+            self.fieldname,
+            self.kind,
+            self.is_sync,
+            self.is_array,
+            self.site,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return other.__class__ is AccessEvent and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessEvent(seq={self.seq!r}, thread_name={self.thread_name!r}, "
+            f"obj={self.obj!r}, fieldname={self.fieldname!r}, kind={self.kind!r}, "
+            f"is_sync={self.is_sync!r}, is_array={self.is_array!r}, "
+            f"site={self.site!r})"
+        )
+
+    def __getstate__(self) -> Tuple[Any, ...]:
+        return self._key()
+
+    def __setstate__(self, state: Tuple[Any, ...]) -> None:
+        (
+            self.seq,
+            self.thread_name,
+            self.obj,
+            self.fieldname,
+            self.kind,
+            self.is_sync,
+            self.is_array,
+            self.site,
+        ) = state
 
     @property
     def address(self) -> Tuple[int, str]:

@@ -15,6 +15,7 @@ needs (Velodrome, single-run, first run, second run, PCD-only, ...).
 from __future__ import annotations
 
 import time
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, Iterable, List, Optional, Tuple
 
@@ -45,6 +46,7 @@ class ExecutionResult:
     steps: int
     access_count: int
     sync_access_count: int
+    #: thread name -> number of scheduler steps that ran the thread
     per_thread_ops: Dict[str, int]
     elapsed_seconds: float
     thread_names: List[str] = field(default_factory=list)
@@ -53,6 +55,13 @@ class ExecutionResult:
     def program_access_count(self) -> int:
         """Accesses to program data (excludes synchronization accesses)."""
         return self.access_count - self.sync_access_count
+
+    @property
+    def steps_per_second(self) -> float:
+        """Executor throughput (the microbenchmark's headline metric)."""
+        if self.elapsed_seconds <= 0.0:
+            return float("inf") if self.steps else 0.0
+        return self.steps / self.elapsed_seconds
 
 
 @dataclass
@@ -104,6 +113,17 @@ class Executor:
         self._access_count = 0
         self._sync_access_count = 0
         self._context = program.make_context()
+        # Incrementally maintained scheduling state.  ``_runnable`` is
+        # the sorted list of runnable thread names the scheduler sees
+        # each step; it is updated on state transitions instead of
+        # being rebuilt (and re-sorted) every iteration of the run
+        # loop.  ``_runnable_set`` mirrors it for O(1) membership,
+        # ``_live_count`` counts unfinished threads.
+        self._runnable: List[str] = []
+        self._runnable_set: set = set()
+        self._live_count = 0
+        self._per_thread_steps: Dict[str, int] = {}
+        self._on_access = self.pipeline.on_access
 
     # ------------------------------------------------------------------
     # public API
@@ -111,27 +131,34 @@ class Executor:
     def run(self) -> ExecutionResult:
         """Execute the program to completion and return a summary."""
         self.scheduler.reset()
+        # rebind the access fast path in case listeners were attached
+        # to the pipeline after construction
+        self._on_access = self.pipeline.on_access
         started = time.perf_counter()
         for spec in self.program.threads:
             self._spawn(spec.name, spec.method, spec.args)
 
-        while True:
-            live = [t for t in self.threads.values() if t.is_live()]
-            if not live:
-                break
-            runnable = sorted(t.name for t in live if t.is_runnable())
+        runnable = self._runnable
+        threads = self.threads
+        choose = self.scheduler.choose
+        step_limit = self.step_limit
+        while self._live_count:
             if not runnable:
-                blocked = {t.name: t.state.value for t in live}
+                blocked = {
+                    t.name: t.state.value
+                    for t in threads.values()
+                    if t.is_live()
+                }
                 raise DeadlockError(blocked)
-            chosen = self.scheduler.choose(runnable, self._steps)
-            if chosen not in runnable:
+            chosen = choose(runnable, self._steps)
+            if chosen not in self._runnable_set:
                 raise ProgramError(
                     f"scheduler chose non-runnable thread {chosen!r}"
                 )
             self._steps += 1
-            if self._steps > self.step_limit:
-                raise StepLimitExceeded(self.step_limit)
-            self._step(self.threads[chosen])
+            if self._steps > step_limit:
+                raise StepLimitExceeded(step_limit)
+            self._step(threads[chosen])
 
         self.pipeline.on_execution_end()
         elapsed = time.perf_counter() - started
@@ -139,10 +166,25 @@ class Executor:
             steps=self._steps,
             access_count=self._access_count,
             sync_access_count=self._sync_access_count,
-            per_thread_ops={name: t.tid for name, t in self.threads.items()},
+            per_thread_ops=dict(self._per_thread_steps),
             elapsed_seconds=elapsed,
             thread_names=sorted(self.threads),
         )
+
+    # ------------------------------------------------------------------
+    # runnable-set bookkeeping
+    # ------------------------------------------------------------------
+    def _block(self, thread: VThread, state: ThreadState) -> None:
+        """Transition a runnable thread into a blocked/waiting state."""
+        thread.state = state
+        self._runnable_set.remove(thread.name)
+        self._runnable.remove(thread.name)
+
+    def _unblock(self, thread: VThread) -> None:
+        """Transition a blocked/waiting thread back to runnable."""
+        thread.state = ThreadState.RUNNABLE
+        self._runnable_set.add(thread.name)
+        insort(self._runnable, thread.name)
 
     # ------------------------------------------------------------------
     # thread lifecycle
@@ -154,6 +196,10 @@ class Executor:
         thread = VThread(name, self._next_tid, thread_obj)
         self._next_tid += 1
         self.threads[name] = thread
+        self._live_count += 1
+        self._runnable_set.add(name)
+        insort(self._runnable, name)
+        self._per_thread_steps[name] = 0
         self._push_call(thread, method, args)
         return thread
 
@@ -174,7 +220,10 @@ class Executor:
         thread.push_frame(method, gen)
 
     def _finish_thread(self, thread: VThread) -> None:
-        thread.state = ThreadState.FINISHED
+        # the finishing thread is the one being stepped, so it is
+        # currently in the runnable set
+        self._block(thread, ThreadState.FINISHED)
+        self._live_count -= 1
         # thread termination happens-before join() return: model it as a
         # release-like write of the thread object
         self._emit_sync_access(
@@ -185,12 +234,13 @@ class Executor:
         # wake joiners
         for other in self.threads.values():
             if other.state is ThreadState.BLOCKED_JOIN and other.joining == thread.name:
-                other.state = ThreadState.RUNNABLE
+                self._unblock(other)
 
     # ------------------------------------------------------------------
     # stepping
     # ------------------------------------------------------------------
     def _step(self, thread: VThread) -> None:
+        self._per_thread_steps[thread.name] += 1
         if not thread.started:
             thread.started = True
             self.pipeline.on_thread_start(thread.name)
@@ -251,21 +301,16 @@ class Executor:
         is_sync: bool = False,
         is_array: bool = False,
     ) -> None:
-        self._seq += 1
+        seq = self._seq + 1
+        self._seq = seq
         self._access_count += 1
         if is_sync:
             self._sync_access_count += 1
-        event = AccessEvent(
-            seq=self._seq,
-            thread_name=thread.name,
-            obj=obj,
-            fieldname=fieldname,
-            kind=kind,
-            is_sync=is_sync,
-            is_array=is_array,
-            site=site,
+        self._on_access(
+            AccessEvent(
+                seq, thread.name, obj, fieldname, kind, is_sync, is_array, site
+            )
         )
-        self.pipeline.on_access(event)
 
     def _emit_sync_access(
         self, thread: VThread, obj: Any, fieldname: str, kind: AccessKind, site: Site
@@ -312,7 +357,7 @@ class Executor:
         if self.locks.try_acquire(thread.name, op.obj):
             self._emit_sync_access(thread, op.obj, LOCK_FIELD, AccessKind.READ, site)
         else:
-            thread.state = ThreadState.BLOCKED_LOCK
+            self._block(thread, ThreadState.BLOCKED_LOCK)
             thread.blocked_on = op.obj
             thread.pending_value = _PendingAcquire(op.obj, 1, after_wait=False)
 
@@ -329,7 +374,7 @@ class Executor:
         self._emit_sync_access(thread, op.obj, LOCK_FIELD, AccessKind.WRITE, site)
         depth = self.locks.release_fully(thread.name, op.obj)
         self.locks.add_waiter(thread.name, op.obj)
-        thread.state = ThreadState.WAITING
+        self._block(thread, ThreadState.WAITING)
         thread.blocked_on = op.obj
         thread.pending_value = _PendingAcquire(op.obj, depth, after_wait=True)
         self._wake_lock_blocked(op.obj)
@@ -340,7 +385,8 @@ class Executor:
         self._emit_sync_access(thread, op.obj, LOCK_FIELD, AccessKind.WRITE, site)
         for name in self.locks.notify(op.obj, op.wake_all):
             waiter = self.threads[name]
-            # notified threads compete for the monitor once it is free
+            # notified threads compete for the monitor once it is free;
+            # WAITING -> BLOCKED_LOCK never touches the runnable set
             waiter.state = ThreadState.BLOCKED_LOCK
 
     def _wake_lock_blocked(self, obj: SharedObject) -> None:
@@ -349,7 +395,7 @@ class Executor:
                 other.state is ThreadState.BLOCKED_LOCK
                 and other.blocked_on is obj
             ):
-                other.state = ThreadState.RUNNABLE
+                self._unblock(other)
 
     # --- structure & threads ----------------------------------------------
     def _do_invoke(self, thread: VThread, op: ops.Invoke) -> None:
@@ -377,7 +423,7 @@ class Executor:
                 thread, target.thread_obj, THREAD_FIELD, AccessKind.READ, site
             )
         else:
-            thread.state = ThreadState.BLOCKED_JOIN
+            self._block(thread, ThreadState.BLOCKED_JOIN)
             thread.joining = op.thread_name
             thread.pending_value = _PendingJoin(op.thread_name)
 
@@ -397,7 +443,7 @@ class Executor:
                     thread, pending.obj, LOCK_FIELD, AccessKind.READ, site
                 )
             else:
-                thread.state = ThreadState.BLOCKED_LOCK
+                self._block(thread, ThreadState.BLOCKED_LOCK)
             return
         if isinstance(pending, _PendingJoin):
             target = self.threads[pending.target]
@@ -409,7 +455,7 @@ class Executor:
                     thread, target.thread_obj, THREAD_FIELD, AccessKind.READ, site
                 )
             else:
-                thread.state = ThreadState.BLOCKED_JOIN
+                self._block(thread, ThreadState.BLOCKED_JOIN)
             return
         raise ProgramError(f"unknown pending operation: {pending!r}")
 

@@ -36,19 +36,41 @@ class ExecutionListener:
         """The whole program finished; flush any pending analysis work."""
 
 
+def _discard_access(event: AccessEvent) -> None:
+    """No-listener fast path: the access barrier is a no-op."""
+
+
 class ListenerPipeline(ExecutionListener):
     """Dispatch events to an ordered list of listeners.
 
     Order matters exactly as barrier order matters in the paper: ICD's
     logging instrumentation runs *after* Octet's barrier, which the
     pipeline realizes by registering Octet before ICD's logger.
+
+    ``on_access`` is the hot path — it fires once per dynamic access —
+    so the pipeline pre-binds it per instance: with zero listeners it
+    is a no-op, with exactly one listener it is that listener's bound
+    ``on_access`` (no loop, no indirection), and only with two or more
+    does it fan out.  :meth:`add` rebinds, so the fast path stays
+    correct if listeners are attached after construction.
     """
 
     def __init__(self, listeners: Iterable[ExecutionListener] = ()) -> None:
         self.listeners: List[ExecutionListener] = list(listeners)
+        self._rebind_access()
 
     def add(self, listener: ExecutionListener) -> None:
         self.listeners.append(listener)
+        self._rebind_access()
+
+    def _rebind_access(self) -> None:
+        # shadow the class-level method with the cheapest correct callable
+        if not self.listeners:
+            self.on_access = _discard_access  # type: ignore[method-assign]
+        elif len(self.listeners) == 1:
+            self.on_access = self.listeners[0].on_access  # type: ignore[method-assign]
+        else:
+            self.on_access = self._fan_out_access  # type: ignore[method-assign]
 
     def on_thread_start(self, thread_name: str) -> None:
         for listener in self.listeners:
@@ -66,7 +88,12 @@ class ListenerPipeline(ExecutionListener):
         for listener in self.listeners:
             listener.on_method_exit(thread_name, method, depth)
 
-    def on_access(self, event: AccessEvent) -> None:
+    def on_access(self, event: AccessEvent) -> None:  # pragma: no cover
+        # overridden per instance by _rebind_access; kept for the
+        # ExecutionListener interface contract
+        self._fan_out_access(event)
+
+    def _fan_out_access(self, event: AccessEvent) -> None:
         for listener in self.listeners:
             listener.on_access(event)
 

@@ -23,7 +23,10 @@ class Scheduler:
     def choose(self, runnable: Sequence[str], step: int) -> str:
         """Return the name of the thread to step next.
 
-        ``runnable`` is sorted by thread name and never empty.
+        ``runnable`` is sorted by thread name and never empty.  The
+        executor maintains it incrementally and passes the *same*
+        sequence object every step, so implementations must neither
+        mutate it nor hold a reference to it across calls.
         """
         raise NotImplementedError
 

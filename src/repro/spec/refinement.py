@@ -16,11 +16,15 @@ builds runners for Velodrome, single-run mode, and multi-run mode.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Set
+from typing import Callable, Iterable, List, Optional, Sequence, Set
 
 from repro.spec.specification import AtomicitySpecification
 
 Runner = Callable[[AtomicitySpecification, int], Set[str]]
+
+#: batch runner: executes one whole step's trials (possibly in
+#: parallel) and returns one blamed-set per trial index
+StepRunner = Callable[[AtomicitySpecification, Sequence[int]], Iterable[Set[str]]]
 
 
 @dataclass
@@ -74,6 +78,7 @@ def iterative_refinement(
     *,
     trials_per_step: int = 10,
     max_steps: int = 64,
+    step_runner: Optional[StepRunner] = None,
 ) -> RefinementResult:
     """Run iterative refinement to convergence.
 
@@ -87,16 +92,29 @@ def iterative_refinement(
             blames across all its trials terminates refinement.
         max_steps: safety valve; refinement that does not converge
             returns ``converged=False``.
+        step_runner: optional batch override — runs one whole step's
+            trials (e.g. in parallel via a
+            :class:`~repro.harness.parallel.CellPool`) and returns the
+            per-trial blamed sets.  Steps remain strictly sequential
+            either way: the next step's specification depends on the
+            union of this step's blames, and that union is order-
+            insensitive, so a parallel step runner refines to exactly
+            the serial result.
     """
     spec = initial_spec
     result = RefinementResult(initial_spec=initial_spec, final_spec=initial_spec)
     trial_index = 0
 
     for step_index in range(max_steps):
+        trials = range(trial_index, trial_index + trials_per_step)
+        trial_index += trials_per_step
+        if step_runner is not None:
+            blamed_sets = step_runner(spec, list(trials))
+        else:
+            blamed_sets = [runner(spec, trial) for trial in trials]
         blamed_this_step: Set[str] = set()
-        for _ in range(trials_per_step):
-            blamed_this_step |= set(runner(spec, trial_index))
-            trial_index += 1
+        for blamed in blamed_sets:
+            blamed_this_step |= set(blamed)
         new = {m for m in blamed_this_step if spec.is_atomic(m)}
         if not new:
             result.final_spec = spec

@@ -1,0 +1,147 @@
+"""CellPool: job resolution, ordered results, and serial/parallel
+determinism of the experiment surfaces.
+
+The determinism tests are the contract the parallel harness advertises:
+for a representative workload subset, ``jobs=4`` must reproduce the
+serial path exactly — Table 2's blamed-method sets, Table 3's
+counters, Figure 7's normalized times.
+"""
+
+import os
+
+import pytest
+
+from repro.harness import figure7, runner, table2, table3
+from repro.harness.parallel import CellPool, JOBS_ENV, ensure_pool, resolve_jobs
+
+NAMES = ["hsqldb6", "xalan6"]
+
+
+# ----------------------------------------------------------------------
+# unit behaviour
+# ----------------------------------------------------------------------
+def test_resolve_jobs_explicit_beats_env(monkeypatch):
+    monkeypatch.setenv(JOBS_ENV, "7")
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(None) == 7
+
+
+def test_resolve_jobs_defaults_to_serial(monkeypatch):
+    monkeypatch.delenv(JOBS_ENV, raising=False)
+    assert resolve_jobs(None) == 1
+
+
+def test_resolve_jobs_zero_means_cpu_count(monkeypatch):
+    monkeypatch.delenv(JOBS_ENV, raising=False)
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+
+def test_resolve_jobs_rejects_garbage_env(monkeypatch):
+    monkeypatch.setenv(JOBS_ENV, "many")
+    with pytest.raises(ValueError):
+        resolve_jobs(None)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError(f"boom {x}")
+
+
+def test_starmap_results_are_ordered():
+    with CellPool(4) as pool:
+        assert pool.starmap(_square, [(i,) for i in range(20)]) == [
+            i * i for i in range(20)
+        ]
+
+
+def test_serial_pool_runs_inline():
+    pool = CellPool(1)
+    assert pool._executor is None
+    assert pool.map(_square, [3]) == [9]
+    future = pool.submit(_square, 4)
+    assert future.result() == 16
+
+
+def test_serial_pool_submit_captures_exceptions():
+    future = CellPool(1).submit(_boom, 1)
+    with pytest.raises(RuntimeError):
+        future.result()
+
+
+def test_parallel_pool_propagates_exceptions():
+    with CellPool(2) as pool:
+        with pytest.raises(RuntimeError):
+            pool.starmap(_boom, [(1,)])
+
+
+def test_ensure_pool_reuses_and_owns():
+    with CellPool(1) as outer:
+        with ensure_pool(outer) as inner:
+            assert inner is outer
+    with ensure_pool(None, 1) as owned:
+        assert owned.jobs == 1
+
+
+# ----------------------------------------------------------------------
+# cache hygiene
+# ----------------------------------------------------------------------
+def test_store_cache_is_atomic_and_readonly_mode_skips(tmp_path, monkeypatch):
+    monkeypatch.setattr(runner, "CACHE_DIR", str(tmp_path))
+    runner._store_cache({"bench": ["m1", "m2"]})
+    assert runner._load_cache() == {"bench": ["m1", "m2"]}
+    # no temp droppings left behind
+    assert sorted(os.listdir(tmp_path)) == ["final_specs.json"]
+
+    runner.set_cache_readonly(True)
+    try:
+        runner._store_cache({"bench": ["overwritten"]})
+        assert runner._load_cache() == {"bench": ["m1", "m2"]}
+    finally:
+        runner.set_cache_readonly(False)
+
+
+# ----------------------------------------------------------------------
+# serial/parallel determinism of the paper artefacts
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def jobs4():
+    with CellPool(4) as pool:
+        yield pool
+
+
+def test_table2_blamed_sets_identical(jobs4):
+    serial = table2.generate(NAMES)
+    parallel = table2.generate(NAMES, pool=jobs4)
+    assert [r.velodrome_blamed for r in serial.rows] == [
+        r.velodrome_blamed for r in parallel.rows
+    ]
+    assert [r.single_blamed for r in serial.rows] == [
+        r.single_blamed for r in parallel.rows
+    ]
+    assert [r.multi_blamed for r in serial.rows] == [
+        r.multi_blamed for r in parallel.rows
+    ]
+    assert serial.render() == parallel.render()
+
+
+def test_table3_counters_identical(jobs4):
+    serial = table3.generate(NAMES, trials=2, first_trials=1)
+    parallel = table3.generate(NAMES, trials=2, first_trials=1, pool=jobs4)
+    assert serial.rows == parallel.rows
+    assert serial.render() == parallel.render()
+
+
+def test_figure7_normalized_times_identical(jobs4):
+    serial = figure7.generate(NAMES, trials=2, first_trials=1)
+    parallel = figure7.generate(NAMES, trials=2, first_trials=1, pool=jobs4)
+    # modelled numbers are deterministic; measured wall-clock is not
+    assert [r.normalized for r in serial.rows] == [
+        r.normalized for r in parallel.rows
+    ]
+    assert [r.gc_fraction for r in serial.rows] == [
+        r.gc_fraction for r in parallel.rows
+    ]
+    assert serial.geomeans() == parallel.geomeans()

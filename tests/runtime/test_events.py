@@ -37,3 +37,24 @@ def test_kind_predicates():
 
 def test_site_string():
     assert str(Site("update", 3)) == "update@3"
+
+
+def test_site_value_semantics():
+    assert Site("m", 1) == Site("m", 1)
+    assert Site("m", 1) != Site("m", 2)
+    assert hash(Site("m", 1)) == hash(Site("m", 1))
+    assert len({Site("m", 1), Site("m", 1), Site("n", 1)}) == 2
+
+
+def test_events_are_slotted():
+    """Hot-path structures carry no per-instance __dict__."""
+    import pickle
+
+    event = make_event()
+    assert not hasattr(event, "__dict__")
+    assert not hasattr(event.site, "__dict__")
+    # equality/hash follow field values, and pickling round-trips
+    clone = pickle.loads(pickle.dumps(event))
+    assert clone.fieldname == event.fieldname
+    assert clone.site == event.site
+    assert clone.kind is event.kind

@@ -317,6 +317,36 @@ def test_execution_result_counts():
     assert result.steps > 0
 
 
+def test_per_thread_ops_are_step_counts():
+    """Regression: per_thread_ops used to report thread *ids*; it must
+    report how many scheduler steps each thread actually ran."""
+
+    class CountingScheduler(RoundRobinScheduler):
+        def __init__(self):
+            super().__init__()
+            self.counts = {}
+
+        def choose(self, runnable, step):
+            chosen = super().choose(runnable, step)
+            self.counts[chosen] = self.counts.get(chosen, 0) + 1
+            return chosen
+
+    scheduler = CountingScheduler()
+    program = counter_program(threads=3, iterations=7)
+    result = Executor(program, scheduler).run()
+    assert result.per_thread_ops == scheduler.counts
+    assert sum(result.per_thread_ops.values()) == result.steps
+    assert set(result.per_thread_ops) == {"T1", "T2", "T3"}
+    # distinct from thread ids (tids are 1..3; each thread runs far more)
+    assert all(count > 3 for count in result.per_thread_ops.values())
+
+
+def test_steps_per_second_throughput_counter():
+    result = Executor(counter_program(threads=2, iterations=5)).run()
+    assert result.steps_per_second > 0
+    assert result.steps_per_second == result.steps / result.elapsed_seconds
+
+
 def test_determinism_same_seed_same_trace():
     def trace(seed):
         recorder = Recorder()

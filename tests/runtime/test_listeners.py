@@ -70,3 +70,37 @@ def test_base_listener_is_a_no_op():
     listener.on_thread_start("T")
     listener.on_access(make_event())
     listener.on_execution_end()  # nothing raised
+
+
+def test_on_access_fast_path_rebinds_as_listeners_are_added():
+    """The pre-bound barrier: no-op with zero listeners, the listener's
+    own bound method with one, fan-out with two or more — and add()
+    must upgrade the binding each time."""
+    log = []
+    pipeline = ListenerPipeline()
+    pipeline.on_access(make_event())  # no listeners: dropped, no error
+    assert log == []
+
+    first = Probe("a", log)
+    pipeline.add(first)
+    assert pipeline.on_access == first.on_access  # direct binding
+    pipeline.on_access(make_event())
+    assert [entry[0] for entry in log] == ["a"]
+
+    log.clear()
+    pipeline.add(Probe("b", log))
+    pipeline.on_access(make_event())
+    assert [entry[0] for entry in log] == ["a", "b"]
+
+
+def test_single_listener_fast_path_preserves_event_identity():
+    seen = []
+
+    class Identity(ExecutionListener):
+        def on_access(self, event):
+            seen.append(event)
+
+    pipeline = ListenerPipeline([Identity()])
+    event = make_event()
+    pipeline.on_access(event)
+    assert seen == [event]
