@@ -1,0 +1,187 @@
+"""Analysis-phase throughput benchmark: incremental engine vs legacy.
+
+Times the two cycle-detection clients — the Velodrome per-edge checker
+and ICD's transaction-end SCC pass — with the incremental
+strongly-connected-component engine (``repro.graph``) enabled and
+disabled, on the ``hubstress`` workload built for exactly this
+comparison: one long *hub* transaction per round anchors itself into a
+producer group's ever-growing write chain, then periodically probes
+old write-once seed fields.  Every probe forces the legacy per-edge
+check to exhaust the hub's whole reachable region to *refute* a cycle,
+while the engine's component certificate answers in O(1).
+
+Records steps/sec and the deterministic visit counters into
+``results/BENCH_analysis.json`` so future work has a committed
+baseline (``benchmarks/check_bench_regression.py`` compares fresh runs
+against it).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_analysis_throughput.py -q
+
+or standalone (no pytest-benchmark timings, JSON only)::
+
+    PYTHONPATH=src python benchmarks/bench_analysis_throughput.py
+"""
+
+import json
+import os
+import platform
+import sys
+import time
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "results", "BENCH_analysis.json"
+)
+
+#: wall-clock repetitions per configuration (minimum is reported)
+REPS = 2
+
+
+def hubstress_spec():
+    """The cycle-check stress workload (not a Table 2/3 catalog entry)."""
+    from repro.workloads.builder import WorkloadSpec
+
+    return WorkloadSpec(
+        name="hubstress",
+        threads=12,
+        iterations=1200,
+        shared_objects=2,
+        violating_weight=0.02,
+        safe_methods=6,
+        unary_ops=2,
+        array_ops=0,
+        unary_shared_period=6,
+        hub_scan_iters=600,
+        hub_rounds=20,
+        hub_threads=1,
+        hub_probe_period=6,
+        hub_listener_threads=2,
+        pad=1,
+    )
+
+
+def _velodrome(spec, use_engine):
+    from repro.harness.runner import make_scheduler
+    from repro.spec.specification import AtomicitySpecification
+    from repro.velodrome.checker import VelodromeChecker
+    from repro.workloads.builder import build_program
+
+    aspec = AtomicitySpecification.initial(build_program(spec))
+    best = None
+    for _ in range(REPS):
+        start = time.perf_counter()
+        checker = VelodromeChecker(aspec, use_engine=use_engine)
+        result = checker.run(build_program(spec), make_scheduler(0))
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[0]:
+            best = (elapsed, result)
+    elapsed, result = best
+    stats = result.stats
+    return {
+        "steps_per_second": round(result.execution.steps / elapsed),
+        "cycle_checks": stats.cycle_checks,
+        "cycle_checks_certified": stats.cycle_checks_certified,
+        "cycle_check_visits": stats.cycle_check_visits,
+        "engine_search_visits": stats.engine_search_visits,
+    }
+
+
+def _icd_first(spec, use_engine):
+    from repro.core.doublechecker import DoubleChecker
+    from repro.harness.runner import make_scheduler
+    from repro.spec.specification import AtomicitySpecification
+    from repro.workloads.builder import build_program
+
+    aspec = AtomicitySpecification.initial(build_program(spec))
+    best = None
+    for _ in range(REPS):
+        start = time.perf_counter()
+        checker = DoubleChecker(aspec, use_engine=use_engine)
+        result = checker.run_first(build_program(spec), make_scheduler(0))
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[0]:
+            best = (elapsed, result)
+    elapsed, result = best
+    stats = result.icd_stats
+    return {
+        "steps_per_second": round(result.execution.steps / elapsed),
+        "scc_computations": stats.scc_computations,
+        "scc_visits": stats.scc_visits,
+        "scc_skipped_clean": stats.scc_skipped_clean,
+        "engine_search_visits": stats.engine_search_visits,
+    }
+
+
+def _measure():
+    spec = hubstress_spec()
+    return {
+        "hubstress": {
+            "velodrome": {
+                "engine": _velodrome(spec, True),
+                "legacy": _velodrome(spec, False),
+            },
+            "icd_first": {
+                "engine": _icd_first(spec, True),
+                "legacy": _icd_first(spec, False),
+            },
+        }
+    }
+
+
+def write_report():
+    report = {
+        "python": platform.python_version(),
+        "workloads": _measure(),
+    }
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def test_analysis_throughput():
+    """Regenerates the JSON baseline and checks the engine's wins.
+
+    The visit counters are deterministic — the engine must certify the
+    overwhelming majority of probe checks and cut cycle-check visits by
+    far more than the 2x the acceptance bar asks for.  Steps/sec is
+    noisy, so the wall-clock assertion only requires the engine not to
+    be meaningfully slower.
+    """
+    report = write_report()
+    rows = report["workloads"]["hubstress"]
+
+    velo = rows["velodrome"]
+    assert velo["engine"]["cycle_checks"] == velo["legacy"]["cycle_checks"]
+    total_engine = (
+        velo["engine"]["cycle_check_visits"]
+        + velo["engine"]["engine_search_visits"]
+    )
+    assert total_engine * 2 <= velo["legacy"]["cycle_check_visits"]
+    certified = velo["engine"]["cycle_checks_certified"]
+    assert certified >= velo["engine"]["cycle_checks"] * 0.9
+    assert (
+        velo["engine"]["steps_per_second"]
+        >= velo["legacy"]["steps_per_second"] * 0.95
+    )
+
+    icd = rows["icd_first"]
+    total_engine = (
+        icd["engine"]["scc_visits"] + icd["engine"]["engine_search_visits"]
+    )
+    assert total_engine * 2 <= icd["legacy"]["scc_visits"]
+    assert (
+        icd["engine"]["steps_per_second"]
+        >= icd["legacy"]["steps_per_second"] * 0.85
+    )
+
+
+if __name__ == "__main__":
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(__file__), "..", "src")
+    )
+    printed = write_report()
+    json.dump(printed, sys.stdout, indent=2, sort_keys=True)
+    print()

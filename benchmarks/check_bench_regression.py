@@ -1,0 +1,109 @@
+"""Throughput-regression gate for the committed benchmark baselines.
+
+Re-runs the measurement functions behind every committed
+``results/BENCH_*.json`` baseline and compares each throughput metric
+(keys named ``*steps_per_second``) against the stored value.  A fresh
+value more than ``--threshold`` (default 30%) below the baseline is a
+regression: the script prints every offending metric and exits
+nonzero, so CI — or a pre-commit run — fails loudly instead of
+silently shipping a slower analysis pipeline.
+
+Counters that are deterministic (visit counts, check counts) are not
+compared here; the benchmark suites assert their invariants
+themselves.  Throughput baselines are machine-dependent, so after an
+intentional change — or on new hardware — regenerate them with::
+
+    PYTHONPATH=src python benchmarks/bench_executor_throughput.py
+    PYTHONPATH=src python benchmarks/bench_analysis_throughput.py
+
+Run the gate with::
+
+    PYTHONPATH=src python benchmarks/check_bench_regression.py
+"""
+
+import argparse
+import importlib
+import json
+import os
+import sys
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+#: committed baseline -> benchmark module that regenerates it
+BASELINES = {
+    "BENCH_executor.json": "bench_executor_throughput",
+    "BENCH_analysis.json": "bench_analysis_throughput",
+}
+
+
+def _throughput_metrics(node, prefix=""):
+    """Yield (dotted-path, value) for every ``*steps_per_second`` key."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, (int, float)) and key.endswith(
+                "steps_per_second"
+            ):
+                yield path, value
+            else:
+                yield from _throughput_metrics(value, path)
+
+
+def check(threshold):
+    sys.path.insert(0, BENCH_DIR)
+    regressions = []
+    checked = 0
+    for filename, module_name in BASELINES.items():
+        path = os.path.join(BENCH_DIR, "..", "results", filename)
+        if not os.path.exists(path):
+            print(f"-- {filename}: no committed baseline, skipping")
+            continue
+        with open(path) as handle:
+            committed = dict(_throughput_metrics(json.load(handle)))
+        module = importlib.import_module(module_name)
+        fresh = dict(_throughput_metrics({"workloads": module._measure()}))
+        for metric, baseline in sorted(committed.items()):
+            current = fresh.get(metric)
+            if current is None:
+                regressions.append(
+                    f"{filename}:{metric}: missing from fresh measurement"
+                )
+                continue
+            checked += 1
+            floor = baseline * (1.0 - threshold)
+            marker = "ok"
+            if current < floor:
+                regressions.append(
+                    f"{filename}:{metric}: {current:.0f} < {floor:.0f} "
+                    f"(baseline {baseline:.0f}, -{threshold:.0%} floor)"
+                )
+                marker = "REGRESSION"
+            print(
+                f"{marker:>10}  {filename}:{metric}  "
+                f"baseline={baseline:.0f} fresh={current:.0f}"
+            )
+    return checked, regressions
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed fractional slowdown before failing (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    checked, regressions = check(args.threshold)
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) of {checked} metrics:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(f"\nall {checked} throughput metrics within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, os.path.join(BENCH_DIR, "..", "src"))
+    raise SystemExit(main())

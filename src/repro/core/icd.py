@@ -31,8 +31,9 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.gc import TransactionCollector
 from repro.core.rwlog import ElisionFilter, ReadWriteLog
-from repro.core.scc import is_cyclic_component, scc_containing
+from repro.core.scc import is_cyclic_component, scc_containing_counted
 from repro.core.transactions import IdgEdge, Transaction, TransactionManager
+from repro.graph.dirty import DirtySccScheduler
 from repro.errors import OutOfMemoryBudget
 from repro.octet.runtime import OctetListener, OctetRuntime, TransitionRecord
 from repro.runtime.events import AccessEvent
@@ -55,6 +56,17 @@ class ICDStats:
     largest_scc: int = 0
     scc_computations: int = 0
     scc_skipped_no_edges: int = 0
+    #: ends whose engine component was certified acyclic (dirty-marking
+    #: scheduler fast path; extends ``scc_skipped_no_edges`` to "has
+    #: edges, but none ever closed a cycle")
+    scc_skipped_clean: int = 0
+    #: ends whose component was unchanged since a fully-resolved check
+    scc_skipped_unchanged: int = 0
+    #: transactions actually indexed by the Tarjan passes that ran —
+    #: the traversal work the schedule did not avoid
+    scc_visits: int = 0
+    #: nodes visited by the engine's own reorder/contraction searches
+    engine_search_visits: int = 0
     cycle_detection_calls: int = 0
     log_entries: int = 0
     log_marks: int = 0
@@ -116,6 +128,7 @@ class ICD(ExecutionListener, OctetListener):
         merge_unary: bool = True,
         track_unary_sites: bool = False,
         monitor_unary_site: Optional[Callable[[str], bool]] = None,
+        use_engine: bool = True,
     ) -> None:
         self.spec = spec
         self.logging_enabled = logging_enabled
@@ -130,6 +143,12 @@ class ICD(ExecutionListener, OctetListener):
         self.view = runtime_view or NullView()
 
         self.stats = ICDStats()
+        #: dirty-marking SCC schedule over the shared incremental graph
+        #: engine; ``use_engine=False`` restores the original
+        #: Tarjan-from-every-end schedule (the benchmark baseline)
+        self.scheduler: Optional[DirtySccScheduler] = (
+            DirtySccScheduler() if use_engine and (cycle_detection or eager_scc) else None
+        )
         # RdSh→WrEx conflicts coordinate with *every other thread that
         # ever ran* — a finished thread responds like a blocked one (the
         # implicit protocol; it will trivially never access again), and
@@ -208,6 +227,8 @@ class ICD(ExecutionListener, OctetListener):
 
     def on_execution_end(self) -> None:
         self.tx_manager.finish_all()
+        if self.scheduler is not None:
+            self.stats.engine_search_visits = self.scheduler.graph.stats.search_visits
 
     # ------------------------------------------------------------------
     # OctetListener — the Figure 4 procedures
@@ -287,6 +308,12 @@ class ICD(ExecutionListener, OctetListener):
         src.edge_touched = True
         dst.edge_touched = True
         self.stats.idg_edges += 1
+        if self.scheduler is not None:
+            # must precede the eager unary end below: ending src fires
+            # _transaction_ended, whose schedule consults the engine
+            self.scheduler.note_cross_edge(
+                src.tx_id, src.thread_name, dst.tx_id, dst.thread_name
+            )
         # the responder sits at a safe point: its interrupted unary
         # transaction (if any) can be ended eagerly (dst is the
         # requester's transaction, mid-access — it ends lazily)
@@ -349,8 +376,25 @@ class ICD(ExecutionListener, OctetListener):
     def _detect_from(self, tx: Transaction) -> None:
         if not tx.finished:
             return
+        frontier = None
+        if self.scheduler is not None:
+            frontier = self.scheduler.frontier_for(tx.tx_id)
+            if frontier is None:
+                # engine-certified: either the component is acyclic (the
+                # maintained topological order is the witness) or it is
+                # unchanged since a check that resolved all of it
+                if self.scheduler.last_skip_clean:
+                    self.stats.scc_skipped_clean += 1
+                else:
+                    self.stats.scc_skipped_unchanged += 1
+                return
         self.stats.scc_computations += 1
-        component = scc_containing(tx)
+        component, visits = scc_containing_counted(tx, frontier)
+        self.stats.scc_visits += visits
+        if self.scheduler is not None:
+            self.scheduler.note_checked(
+                tx.tx_id, {t.tx_id for t in component}
+            )
         if not is_cyclic_component(component):
             return
         key = frozenset(t.tx_id for t in component)
@@ -376,7 +420,14 @@ class ICD(ExecutionListener, OctetListener):
         roots: List[Transaction] = list(self._last_rdex.values())
         if self._g_last_rdsh is not None:
             roots.append(self._g_last_rdsh)
+        population = self.tx_manager.all_transactions
         self.collector.collect(roots)
+        if self.scheduler is not None:
+            # the engine keeps merged components (its acyclicity
+            # certificate) but can drop collected singletons
+            self.scheduler.forget(
+                tx.tx_id for tx in population if tx.collected
+            )
         self._live_log_entries = self.collector.live_log_entries()
         if not self.logging_enabled:
             live_ids = {t.tx_id for t in self.tx_manager.all_transactions}

@@ -46,6 +46,8 @@ class PCDStats:
     pdg_edges: int = 0
     cycle_checks: int = 0
     cycle_check_visits: int = 0
+    #: nodes visited by the PDG engines' reorder/contraction searches
+    engine_search_visits: int = 0
     cycles_found: int = 0
     order_fallbacks: int = 0
 
@@ -60,8 +62,13 @@ class PCD:
             sunflow9 — which this cap reproduces).
     """
 
-    def __init__(self, memory_budget: Optional[int] = None) -> None:
+    def __init__(
+        self, memory_budget: Optional[int] = None, use_engine: bool = True
+    ) -> None:
         self.memory_budget = memory_budget
+        #: route each component PDG's cycle checks through the
+        #: incremental engine (False = original whole-graph DFS)
+        self.use_engine = use_engine
         self.stats = PCDStats()
         self._reported_cycles: Set[frozenset] = set()
 
@@ -164,7 +171,7 @@ class PCD:
         #: the intra-thread (program-order) edges — cycles can mix
         #: program-order and dependence edges (see repro.core.pdg)
         chain: Dict[str, Transaction] = {}
-        pdg = PDG()
+        pdg = PDG(use_engine=self.use_engine)
         violations: List[ViolationRecord] = []
 
         for tx, entry in merged:
@@ -208,6 +215,8 @@ class PCD:
                 if record is not None:
                     violations.append(record)
         self.stats.cycle_check_visits += pdg.nodes_visited
+        if pdg.engine is not None:
+            self.stats.engine_search_visits += pdg.engine.stats.search_visits
         return violations
 
     # ------------------------------------------------------------------

@@ -16,12 +16,31 @@ around a whole critical section.)  Intra-thread edges can never
 ``A2``'s start, before ``A2`` has performed any access, so ``A2`` has
 no outgoing dependence edges yet and no path back to ``A1`` can exist.
 Hence only cross-thread edges need the per-edge cycle check.
+
+**Cycle checks are engine-certified.**  Every edge is mirrored into a
+shared :class:`~repro.graph.engine.IncrementalSccDigraph`, which keeps
+a topological order of the graph's condensation.  A new edge whose
+endpoints sit in different components provably closes no cycle, so the
+per-edge check is a component lookup instead of a graph traversal.
+When the endpoints do share a component, the original DFS runs —
+restricted to that component's members.  The restriction cannot change
+the path found: every node on a ``dst ⇝ src`` path lies on a cycle
+through the closing edge and hence inside the component, and a visited
+node outside the component can never discover a node inside it (an
+edge from it into the component would put it on such a path), so the
+restricted DFS pops the same nodes in the same order and reconstructs
+the identical edge list.  ``use_engine=False`` retains the original
+whole-graph DFS — the reference the property tests pin the engine to,
+and the baseline ``benchmarks/bench_analysis_throughput.py`` measures
+the engine against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
+
+from repro.graph.engine import IncrementalSccDigraph
 
 
 @dataclass(frozen=True)
@@ -39,16 +58,24 @@ class PdgEdge:
 class PDG:
     """Transaction-level dependence graph with incremental cycle checks."""
 
-    def __init__(self) -> None:
+    def __init__(self, use_engine: bool = True) -> None:
         #: adjacency: src tx id -> dst tx id -> edge (first creation wins)
         self._adj: Dict[int, Dict[int, PdgEdge]] = {}
         self._order = 0
         self.edge_count = 0
         self.cycle_checks = 0
         #: total nodes visited across all cycle checks — the real cost
-        #: of per-edge detection, which grows with graph size (this is
-        #: what makes the PCD-only straw man explode)
+        #: of per-edge detection.  With the engine this counts only the
+        #: component-restricted searches that actually run; with
+        #: ``use_engine=False`` it reproduces the whole-graph DFS cost
+        #: that made the PCD-only straw man explode
         self.nodes_visited = 0
+        #: node set, maintained incrementally on ``add_edge`` (it used
+        #: to be rebuilt from the whole adjacency map per call)
+        self._nodes: Set[int] = set()
+        self.engine: Optional[IncrementalSccDigraph] = (
+            IncrementalSccDigraph() if use_engine else None
+        )
 
     def add_edge(self, src: int, dst: int) -> Optional[PdgEdge]:
         """Add an edge; returns it if new, ``None`` if it already existed."""
@@ -61,6 +88,10 @@ class PDG:
         edge = PdgEdge(src, dst, self._order)
         out[dst] = edge
         self.edge_count += 1
+        self._nodes.add(src)
+        self._nodes.add(dst)
+        if self.engine is not None:
+            self.engine.add_edge(src, dst)
         return edge
 
     def successors(self, node: int) -> Dict[int, PdgEdge]:
@@ -78,6 +109,13 @@ class PDG:
         start = edge.dst
         if start == target:
             return None
+        membership: Optional[Set[int]] = None
+        if self.engine is not None:
+            if not self.engine.same_component(start, target):
+                # certified acyclic: the maintained topological order
+                # witnesses that no dst ⇝ src path exists
+                return None
+            membership = self.engine.component_members(start)
         # iterative DFS remembering the edge that discovered each node
         discovered: Dict[int, PdgEdge] = {}
         stack = [start]
@@ -87,6 +125,8 @@ class PDG:
                 node = stack.pop()
                 for succ, out_edge in self.successors(node).items():
                     if succ in seen:
+                        continue
+                    if membership is not None and succ not in membership:
                         continue
                     discovered[succ] = out_edge
                     if succ == target:
@@ -113,7 +153,4 @@ class PDG:
 
     # ------------------------------------------------------------------
     def nodes(self) -> Set[int]:
-        out: Set[int] = set(self._adj)
-        for dsts in self._adj.values():
-            out.update(dsts)
-        return out
+        return set(self._nodes)

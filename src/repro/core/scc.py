@@ -8,24 +8,53 @@ launched when its last-finishing member ends will detect them) and
 avoids racing with threads still updating their current transaction.
 
 The implementation is an iterative Tarjan restricted to finished
-transactions, returning the SCC that contains the root.
+transactions, returning the SCC that contains the root.  Successors
+are consumed straight off ``out_edges`` and ``intra_next`` with the
+finished/uncollected filter applied inline — no per-node successor
+list is allocated, so repeated passes over the same stable region
+cost only the traversal itself.
+
+``frontier`` optionally restricts the pass — ICD seeds it with the
+:class:`~repro.graph.chains.ChainFrontier` of the ending transaction's
+engine component (registered members plus the per-thread id windows
+that admit unregistered chain interiors).  The restriction cannot
+change the result: the engine graph is a supergraph of the live
+subgraph, so the root's true SCC is admitted in full, and an admitted
+transaction outside the SCC has no path back into it — skipping the
+rest prunes exactly the exploration that could never contribute to
+the root's SCC, and leaves the discovery (and hence pop) order of
+component members unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.transactions import Transaction
 
 
-def scc_containing(root: Transaction) -> List[Transaction]:
+def scc_containing(
+    root: Transaction, frontier=None
+) -> List[Transaction]:
     """Return the members of ``root``'s SCC (size 1 if acyclic).
 
     Only finished transactions are explored; unfinished successors are
-    skipped exactly as the paper prescribes.
+    skipped exactly as the paper prescribes.  ``frontier``, when given,
+    bounds the pass to the transactions it ``admits``.
+    """
+    return scc_containing_counted(root, frontier)[0]
+
+
+def scc_containing_counted(
+    root: Transaction, frontier=None
+) -> Tuple[List[Transaction], int]:
+    """Like :func:`scc_containing`, also returning the visit count.
+
+    The count is the number of transactions Tarjan actually indexed —
+    the real traversal cost ICD reports as ``scc_visits``.
     """
     if not root.finished:
-        return [root]
+        return [root], 1
 
     index_of: Dict[Transaction, int] = {}
     lowlink: Dict[Transaction, int] = {}
@@ -34,8 +63,11 @@ def scc_containing(root: Transaction) -> List[Transaction]:
     result: Optional[List[Transaction]] = None
     counter = 0
 
-    # iterative Tarjan: work items are (node, iterator over successors)
-    work: List[tuple[Transaction, int, List[Transaction]]] = []
+    # iterative Tarjan.  Work items are (node, next edge index, pending
+    # child): edge indices < len(out_edges) address cross-thread edges,
+    # index == len(out_edges) addresses the intra-thread successor, so
+    # successors stream off the transaction without a filtered copy.
+    work: List[tuple[Transaction, int, Optional[Transaction]]] = []
 
     def push(node: Transaction) -> None:
         nonlocal counter
@@ -44,27 +76,41 @@ def scc_containing(root: Transaction) -> List[Transaction]:
         counter += 1
         stack.append(node)
         on_stack.add(node)
-        successors = [s for s in node.successors() if s.finished and not s.collected]
-        work.append((node, 0, successors))
+        work.append((node, 0, None))
 
     push(root)
     while work:
-        node, i, successors = work.pop()
-        if i > 0:
-            # returned from recursing into successors[i - 1]
-            prev = successors[i - 1]
-            lowlink[node] = min(lowlink[node], lowlink[prev])
+        node, i, child = work.pop()
+        if child is not None:
+            # returned from recursing into child
+            child_low = lowlink[child]
+            if child_low < lowlink[node]:
+                lowlink[node] = child_low
+        out = node.out_edges
+        n_out = len(out)
         advanced = False
-        while i < len(successors):
-            succ = successors[i]
+        while i <= n_out:
+            if i < n_out:
+                succ = out[i].dst
+            else:
+                succ = node.intra_next
+                if succ is None:
+                    break
             i += 1
-            if succ not in index_of:
-                work.append((node, i, successors))
+            if not succ.finished or succ.collected:
+                continue
+            if frontier is not None and not frontier.admits(
+                succ.thread_name, succ.tx_id
+            ):
+                continue
+            succ_index = index_of.get(succ)
+            if succ_index is None:
+                work.append((node, i, succ))
                 push(succ)
                 advanced = True
                 break
-            if succ in on_stack:
-                lowlink[node] = min(lowlink[node], index_of[succ])
+            if succ in on_stack and succ_index < lowlink[node]:
+                lowlink[node] = succ_index
         if advanced:
             continue
         # node finished: pop its SCC if it is a root
@@ -80,7 +126,7 @@ def scc_containing(root: Transaction) -> List[Transaction]:
                 result = component
 
     assert result is not None, "root must belong to some SCC"
-    return result
+    return result, counter
 
 
 def is_cyclic_component(component: List[Transaction]) -> bool:

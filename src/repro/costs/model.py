@@ -153,6 +153,7 @@ class CostModel:
             s.edges * w.edge_add
             + s.cycle_checks * w.scc_setup
             + s.cycle_check_visits * w.graph_visit
+            + s.engine_search_visits * w.graph_visit
         )
         breakdown.components["gc"] = (
             result.gc_stats.transactions_collected * w.gc_per_tx_scanned
@@ -177,7 +178,11 @@ class CostModel:
         breakdown.components["idg"] = (
             icd_stats.idg_edges * w.edge_add
             + icd_stats.scc_computations * w.scc_setup
-            + icd_stats.scc_transactions * w.graph_visit
+            # charge the Tarjan traversal work that actually ran plus
+            # the engine's own maintenance searches — real work done,
+            # whichever schedule (legacy or dirty-marking) produced it
+            + icd_stats.scc_visits * w.graph_visit
+            + icd_stats.engine_search_visits * w.graph_visit
             + icd_stats.cycle_detection_calls * w.graph_visit
         )
 
@@ -198,6 +203,7 @@ class CostModel:
                 result.pcd_stats.entries_replayed * w.pcd_replay_entry
                 + result.pcd_stats.pdg_edges * w.pcd_edge
                 + result.pcd_stats.cycle_check_visits * w.graph_visit
+                + result.pcd_stats.engine_search_visits * w.graph_visit
             )
         breakdown.components["gc"] = (
             logged * w.gc_per_log_entry

@@ -1,0 +1,144 @@
+"""Dirty-marking schedule for ICD's transaction-end SCC pass.
+
+ICD runs cycle detection when a transaction ends (Section 3.2.3).  The
+original schedule launched a full iterative Tarjan from *every* ending
+transaction that had a cross-thread edge, exploring its entire
+finished reachable region each time.  The scheduler replaces that with
+two engine-certified fast paths over a chain-collapsed engine graph
+(:class:`~repro.graph.chains.ChainCollapsedGraph` — only cross-edge
+endpoints are registered, so the per-transaction program-order traffic
+costs the engine nothing):
+
+* **Clean-component skip.**  The engine re-certifies a component
+  acyclic on every edge insertion (that is what maintaining the
+  topological order means).  A transaction whose component never
+  gained a cycle-forming edge — it is still a singleton — provably has
+  a singleton SCC, so its Tarjan pass is skipped outright.  This
+  extends the existing ``scc_skipped_no_edges`` fast path (no edges at
+  all) to the much larger class "has edges, but none that ever closed
+  a cycle".
+
+* **Unchanged-component skip.**  A component is *dirty* from the
+  moment a merge changes its membership until a Tarjan pass covers all
+  of its registered members.  A member ending while the component is
+  clean would recompute exactly the already-processed member set —
+  ICD's processed-SCC dedup would drop it — so the pass is skipped.
+  Cross edges that do not merge components never change a Tarjan
+  result (membership is untouched), so they do not re-dirty.
+
+* **Frontier-restricted Tarjan.**  When a check must run, the
+  transaction's true SCC is contained in its engine component plus the
+  unregistered chain interiors the component's per-thread id windows
+  admit (the engine graph is a supergraph of the live subgraph Tarjan
+  walks).  Tarjan is seeded with that :class:`ChainFrontier` and never
+  explores outside it, bounding the pass by the component size instead
+  of the whole reachable region.  Any cycle through the root lies
+  inside its SCC, so every member of the root's SCC stays admitted
+  under the restriction and the computed component is **identical** to
+  the unrestricted pass.
+
+Reports are byte-identical to the original schedule: clean skips are
+exactly the passes that would have computed a singleton (non-cyclic)
+component, unchanged skips are passes whose result was already
+processed, and restricted passes compute the same component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Optional, Set
+
+from repro.graph.chains import ChainCollapsedGraph, ChainFrontier
+
+
+@dataclass
+class DirtySccStats:
+    """Scheduler-level counters (engine counters live on the engine)."""
+
+    #: ends skipped because the component was certified acyclic
+    skipped_clean: int = 0
+    #: ends skipped because the component was unchanged since a check
+    #: that resolved it completely
+    skipped_unchanged: int = 0
+    #: checks that did run, and the total frontier size seeding them
+    checks: int = 0
+    frontier_seeded: int = 0
+
+
+class DirtySccScheduler:
+    """Decides whether an ending transaction needs a Tarjan pass."""
+
+    __slots__ = ("chains", "graph", "stats", "last_skip_clean", "_dirty")
+
+    def __init__(self) -> None:
+        self.chains = ChainCollapsedGraph()
+        self.graph = self.chains.graph
+        self.stats = DirtySccStats()
+        #: why the most recent ``frontier_for`` returned ``None``:
+        #: True = component certified acyclic, False = unchanged
+        self.last_skip_clean = True
+        #: representatives of components whose membership changed since
+        #: the last pass that covered them (stale reps are harmless:
+        #: every merge re-marks the surviving representative)
+        self._dirty: Set[object] = set()
+
+    # ------------------------------------------------------------------
+    # graph construction
+    # ------------------------------------------------------------------
+    def note_cross_edge(
+        self, src_id: int, src_chain: str, dst_id: int, dst_chain: str
+    ) -> str:
+        """A cross-thread IDG edge; dirties components a merge touched.
+
+        Only merges dirty: an edge that does not change any component's
+        membership cannot change any future Tarjan result, so resolved
+        components stay resolved across it.
+        """
+        graph = self.graph
+        merges_before = graph.stats.merges
+        outcome = self.chains.note_cross_edge(src_id, src_chain, dst_id, dst_chain)
+        if graph.stats.merges != merges_before:
+            # registration splices can merge too, not only the cross
+            # edge itself — mark both endpoint components
+            self._dirty.add(graph.find(src_id))
+            self._dirty.add(graph.find(dst_id))
+        return outcome
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def frontier_for(self, tx_id: int) -> Optional[ChainFrontier]:
+        """The frontier to seed Tarjan with, or ``None`` to skip."""
+        graph = self.graph
+        members = graph.cyclic_members(tx_id)
+        if members is None:
+            self.stats.skipped_clean += 1
+            self.last_skip_clean = True
+            return None
+        if graph.find(tx_id) not in self._dirty:
+            self.stats.skipped_unchanged += 1
+            self.last_skip_clean = False
+            return None
+        self.stats.checks += 1
+        self.stats.frontier_seeded += len(members)
+        return self.chains.frontier_of(members)
+
+    def note_checked(self, tx_id: int, component_ids: AbstractSet[int]) -> None:
+        """Record a completed Tarjan pass rooted in ``tx_id``'s component.
+
+        The component counts as resolved only when the pass covered
+        every registered member — a partial result (members still
+        unfinished, or outside the root's SCC) must stay dirty so later
+        member ends re-check.
+        """
+        graph = self.graph
+        members = graph.cyclic_members(tx_id)
+        if members is not None and members <= component_ids:
+            self._dirty.discard(graph.find(tx_id))
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def forget(self, tx_ids) -> int:
+        """Forward collected singleton transactions to the engine."""
+        return self.chains.forget(tx_ids)

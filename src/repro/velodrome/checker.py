@@ -29,6 +29,7 @@ from repro.core.transactions import (
     TransactionStats,
 )
 from repro.errors import OutOfMemoryBudget
+from repro.graph.chains import ChainCollapsedGraph, ChainFrontier
 from repro.runtime.events import AccessEvent
 from repro.runtime.executor import ExecutionResult, Executor
 from repro.runtime.listeners import ExecutionListener
@@ -50,6 +51,11 @@ class VelodromeStats:
     edges: int = 0
     cycle_checks: int = 0
     cycle_check_visits: int = 0
+    #: checks resolved by the engine's component certificate alone —
+    #: the endpoints sat in different components, so no traversal ran
+    cycle_checks_certified: int = 0
+    #: nodes visited by the engine's own reorder/contraction searches
+    engine_search_visits: int = 0
     cycles_found: int = 0
     array_accesses_skipped: int = 0
     lost_metadata_updates: int = 0
@@ -99,6 +105,7 @@ class VelodromeChecker(ExecutionListener):
         cycle_detection: bool = True,
         memory_budget: Optional[int] = None,
         gc_interval: Optional[int] = 64,
+        use_engine: bool = True,
     ) -> None:
         self.spec = spec
         self.instrument_arrays = instrument_arrays
@@ -125,6 +132,12 @@ class VelodromeChecker(ExecutionListener):
         self._intra_order: Dict[int, int] = {}
         self._reported_cycles: Set[frozenset] = set()
         self._tx_ends_since_gc = 0
+        #: incremental certificate for the per-edge cycle checks;
+        #: ``use_engine=False`` restores the original whole-graph DFS
+        #: (the analysis-throughput benchmark's baseline arm)
+        self.engine: Optional[ChainCollapsedGraph] = (
+            ChainCollapsedGraph() if use_engine and cycle_detection else None
+        )
 
     # ------------------------------------------------------------------
     # ExecutionListener
@@ -140,6 +153,8 @@ class VelodromeChecker(ExecutionListener):
 
     def on_execution_end(self) -> None:
         self.tx_manager.finish_all()
+        if self.engine is not None:
+            self.stats.engine_search_visits = self.engine.graph.stats.search_visits
 
     def on_access(self, event: AccessEvent) -> None:
         if event.is_array and not self.instrument_arrays:
@@ -225,6 +240,10 @@ class VelodromeChecker(ExecutionListener):
         src.edge_touched = True
         dst.edge_touched = True
         self.stats.edges += 1
+        if self.engine is not None:
+            self.engine.note_cross_edge(
+                src.tx_id, src.thread_name, dst.tx_id, dst.thread_name
+            )
         # eagerly end an interrupted unary transaction on the source
         # side (the destination is the accessor, mid-access)
         self.tx_manager.end_if_interrupted_unary(src)
@@ -240,6 +259,22 @@ class VelodromeChecker(ExecutionListener):
         self.stats.cycle_checks += 1
         target = closing.src
         start = closing.dst
+        membership: Optional[ChainFrontier] = None
+        if self.engine is not None:
+            if not self.engine.same_component(start.tx_id, target.tx_id):
+                # certified acyclic: the engine already has the closing
+                # edge, so a dst ⇝ src path would have merged the two
+                # components — different components means no cycle
+                self.stats.cycle_checks_certified += 1
+                return
+            # restricting the DFS to the component's frontier cannot
+            # change the outcome: every node on a dst ⇝ src path lies
+            # on a cycle through the closing edge (hence in the
+            # component, or an admitted chain interior of it), and a
+            # visited node outside the frontier can never reach back
+            # into it, so discovery order — and the reported cycle —
+            # are identical to the whole-graph search
+            membership = self.engine.frontier(start.tx_id)
         discovered: Dict[Transaction, Tuple[Transaction, Optional[IdgEdge]]] = {}
         stack = [start]
         seen = {start}
@@ -253,6 +288,10 @@ class VelodromeChecker(ExecutionListener):
                 steps.append((node.intra_next, None))
             for succ, via in steps:
                 if succ in seen:
+                    continue
+                if membership is not None and not membership.admits(
+                    succ.thread_name, succ.tx_id
+                ):
                     continue
                 seen.add(succ)
                 discovered[succ] = (node, via)
@@ -326,7 +365,12 @@ class VelodromeChecker(ExecutionListener):
         ):
             self._tx_ends_since_gc = 0
             self.collector.note_peak()
+            population = self.tx_manager.all_transactions
             self.collector.collect()
+            if self.engine is not None:
+                self.engine.forget(
+                    t.tx_id for t in population if t.collected
+                )
             self.metadata.purge_collected()
             live = {t.tx_id for t in self.tx_manager.all_transactions}
             self._intra_order = {

@@ -83,6 +83,29 @@ class WorkloadSpec:
     ring_size: int = 0
     #: iterations of one long-running transaction (PCD memory hazard)
     long_transaction_iters: int = 0
+    #: iterations of each hub-scan transaction (cycle-check stress:
+    #: hub threads run long transactions anchored into the producer
+    #: group's access chain, so a large dead-end region stays reachable
+    #: — and alive — for the whole scan)
+    hub_scan_iters: int = 0
+    #: how many hub-scan transactions each hub thread runs (0 disables)
+    hub_rounds: int = 0
+    #: how many threads run probing hub-scan schedules; one additional
+    #: *warden* thread always rides along, anchoring the seeder chain
+    #: so finished seed transactions stay collectable-from and alive
+    hub_threads: int = 1
+    #: every ``hub_probe_period`` scan iterations the hub reads one
+    #: write-once seed field an old listener transaction published;
+    #: the probe edge can never close a cycle, so the naive per-edge
+    #: check exhausts the hub's whole reachable region to refute one,
+    #: while a component certificate answers in O(1)
+    hub_probe_period: int = 0
+    #: listener threads running the seeder schedule (the hub's probe
+    #: sources); the remaining helpers are producers pinned to
+    #: ``shared[0]`` (the hub's anchor).  Producers and listeners touch
+    #: disjoint state, so the only paths between the groups run
+    #: through hub transactions
+    hub_listener_threads: int = 2
     #: producer/consumer pairs using wait/notify (philo profile)
     wait_notify_pairs: int = 0
     #: threads work on disjoint data only (jython9/luindex9/pmd9 profile)
@@ -120,6 +143,9 @@ def build_program(spec: WorkloadSpec) -> Program:
     sliced = _make_sliced_methods(program, spec, shared)
     ring = _make_ring_methods(program, spec)
     long_tx = _make_long_transaction(program, spec)
+    hub_parts = _make_hub_scan(program, spec, shared)
+    hub, warden, archive = hub_parts if hub_parts else (None, None, None)
+    groups = _make_group_methods(program, spec, shared, archive)
 
     _make_worker(
         program,
@@ -134,6 +160,9 @@ def build_program(spec: WorkloadSpec) -> Program:
         sliced=sliced,
         ring=ring,
         long_tx=long_tx,
+        hub=hub,
+        warden=warden,
+        groups=groups,
     )
     _make_wait_notify(program, spec)
     _make_main(program, spec)
@@ -274,6 +303,101 @@ def _make_ring_methods(program, spec) -> List[str]:
     return names
 
 
+#: listener seeding comes in same-thread bursts of ``_SEED_BURST``
+#: invocations every ``_SEED_STRIDE`` iterations (staggered between
+#: listeners); each burst fills exactly one seedbank *epoch* object
+_SEED_BURST = 12
+_SEED_STRIDE = 48
+
+
+def _make_hub_scan(program, spec, shared):
+    """The probing hub method plus the listener-chain warden."""
+    if spec.hub_rounds <= 0 or spec.hub_scan_iters <= 0:
+        return None
+    scratch = program.add_global_object("hub_scratch")
+    archive = program.add_global_object("hub_archive")
+    epochs = spec.iterations // _SEED_STRIDE + 2
+    seedbanks = program.add_global_objects("hub_seedbank", epochs)
+    program.method(
+        _padded(
+            patterns.hub_scan(
+                shared[0],
+                "u0",
+                seedbanks,
+                archive,
+                scratch,
+                spec.hub_scan_iters,
+                spec.hub_probe_period,
+                spec.hub_listener_threads,
+                seed_epoch=_SEED_BURST,
+            ),
+            spec.pad,
+            takes_lane=False,
+        ),
+        name="hub_scan",
+    )
+    # the warden is one scan-long transaction anchored into the seeder
+    # chain (the archive's ping field): it never probes, it only keeps
+    # the finished seed transactions reachable — hence alive — for the
+    # hubs to probe
+    program.method(
+        _padded(
+            patterns.hub_scan(
+                archive,
+                "ping",
+                seedbanks,
+                archive,
+                program.add_global_object("warden_scratch"),
+                spec.hub_scan_iters * spec.hub_rounds,
+                0,
+            ),
+            spec.pad,
+            takes_lane=False,
+        ),
+        name="hub_warden",
+    )
+    return "hub_scan", "hub_warden", (archive, seedbanks)
+
+
+def _make_group_methods(program, spec, shared, archive):
+    """Helper methods for hub-stress workloads.
+
+    Producers touch only ``shared[0]`` — the hub's anchor — so their
+    small real cycles, and their ever-growing write chain, all land
+    inside the hub's reachable region.  Listeners run the write-only
+    seeder chain on the archive object: acyclic by construction, and
+    disjoint from the producers, so the only paths between the groups
+    run through hub transactions.
+    """
+    if archive is None:
+        return None
+    archive_obj, seedbanks = archive
+    first_listener = spec.hub_threads + 1
+    program.method(
+        _padded(
+            patterns.seeder(
+                archive_obj,
+                seedbanks,
+                first_listener,
+                spec.hub_listener_threads,
+                seed_epoch=_SEED_BURST,
+            ),
+            spec.pad,
+            takes_lane=True,
+        ),
+        name="seed_op",
+    )
+    program.method(
+        _padded(patterns.split_rmw(shared[0]), spec.pad, takes_lane=False),
+        name="group_rmw0",
+    )
+    program.method(
+        _padded(patterns.locked_rmw(shared[0]), spec.pad, takes_lane=False),
+        name="group_locked0",
+    )
+    return "seed_op", "group_rmw0", "group_locked0"
+
+
 def _make_long_transaction(program, spec) -> Optional[str]:
     if spec.long_transaction_iters <= 0:
         return None
@@ -307,18 +431,62 @@ def _make_worker(
     sliced,
     ring,
     long_tx,
+    hub=None,
+    warden=None,
+    groups=None,
 ):
     # precompute each thread's invocation schedule so the program
     # structure is deterministic
+    hub_mode = hub is not None
+    producer: Dict[int, bool] = {}
     schedules: Dict[int, List[Tuple[str, Tuple]]] = {}
+    warden_tid = spec.hub_threads
+    first_producer = spec.hub_threads + 1 + spec.hub_listener_threads
     for tid in range(spec.threads):
         schedule: List[Tuple[str, Tuple]] = []
-        for it in range(spec.iterations):
-            schedule.append(_pick_action(spec, rng, tid, it, violating,
-                                         safe_locked, safe_private, safe_read,
-                                         safe_hot, sliced, ring))
-        if long_tx is not None and tid == 0:
-            schedule.append((long_tx, (tid,)))
+        producer[tid] = hub_mode and tid >= first_producer
+        if hub_mode and tid < spec.hub_threads:
+            # hub threads run back-to-back long scans whose probe
+            # cycle checks stress the detector
+            schedule = [(hub, (tid,))] * spec.hub_rounds
+        elif hub_mode and tid == warden_tid:
+            schedule = [(warden, (tid,))]
+        elif hub_mode and tid < first_producer:
+            # listeners: the write-only seeder chain publishing the
+            # hubs' probe targets.  Seeding comes in same-thread
+            # bursts (staggered between listeners) so consecutive
+            # seedbank writes keep its coherence state unchanged —
+            # the object-granularity detector sees at most one
+            # conflict per burst, the per-field one a distinct writer
+            # transaction per seed
+            listener = tid - warden_tid - 1
+            burst, stride = _SEED_BURST, _SEED_STRIDE
+            phase = listener * (stride // 2)
+            for it in range(spec.iterations):
+                if (it + phase) % stride < burst or not safe_private:
+                    schedule.append((groups[0], (tid,)))
+                else:
+                    schedule.append((rng.choice(safe_private), (tid,)))
+        elif hub_mode:
+            # producers: group-pinned traffic on the hub anchor object,
+            # a mix of small real cycles and locked (safe) updates
+            group_rmw, group_locked = groups[1], groups[2]
+            for it in range(spec.iterations):
+                roll = rng.random()
+                if roll < spec.violating_weight:
+                    schedule.append((group_rmw, (tid,)))
+                elif roll < 0.6 and safe_private:
+                    schedule.append((rng.choice(safe_private), (tid,)))
+                else:
+                    schedule.append((group_locked, (tid,)))
+        else:
+            for it in range(spec.iterations):
+                schedule.append(_pick_action(spec, rng, tid, it, violating,
+                                             safe_locked, safe_private,
+                                             safe_read, safe_hot, sliced,
+                                             ring))
+            if long_tx is not None and tid == 0:
+                schedule.append((long_tx, (tid,)))
         schedules[tid] = schedule
 
     def worker(ctx, tid):
@@ -328,8 +496,19 @@ def _make_worker(
                 shared_turn = (
                     not spec.disjoint
                     and (it + u) % spec.unary_shared_period == 0
+                    and not (hub_mode and not producer[tid])
                 )
                 if shared_turn:
+                    if hub_mode:
+                        # producers only, write-only: pure writes keep
+                        # the anchor object's access chain acyclic
+                        # (every edge points from the previous writer
+                        # to the next), so the hub's reachable region
+                        # grows without drowning both detectors in
+                        # mutual-RMW cycles — and ``u0`` is the chain
+                        # the hub's anchor read hangs off
+                        yield Write(ctx.shared[0], f"u{u % 2}", it)
+                        continue
                     target = ctx.shared[(tid + u) % len(ctx.shared)]
                     fieldname = f"u{u % 2}"
                 else:

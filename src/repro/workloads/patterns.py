@@ -167,6 +167,133 @@ def long_loop(target: SharedObject, iterations: int) -> Body:
     return body
 
 
+def hub_scan(
+    anchor: SharedObject,
+    anchor_field: str,
+    seedbanks: Sequence[SharedObject],
+    archive: SharedObject,
+    scratch: SharedObject,
+    iterations: int,
+    probe_period: int = 0,
+    listener_count: int = 0,
+    probe_lag: int = 26,
+    seed_epoch: int = 12,
+) -> Body:
+    """A long scanner transaction anchored into a large producer group.
+
+    The transaction reads ``anchor`` once at the start.  The producer
+    group keeps overwriting that variable, so the first post-anchor
+    write hangs the scanner off the group's ever-growing access chain:
+    a huge, still-live, dead-end region becomes reachable *from* the
+    scanner for its whole lifetime (the collector cannot sweep it — it
+    is reachable from an unfinished transaction).
+
+    Periodically the scanner probes the ``seedbank``: it reads seed
+    fields that listener transactions (:func:`seeder`) wrote *before
+    this scan began* (per the cursors published on the ``archive``)
+    and never write again.  Each probe adds an edge
+    from an old, finished seeder transaction to the scanner, and the
+    per-edge cycle check that follows must refute a cycle — which the
+    naive whole-graph DFS can only do by exhausting the scanner's
+    entire reachable region, re-walking the dead-end producer history
+    on every probe.  An incremental component certificate answers the
+    same question in O(1): the seeder and the scanner were never in
+    one strongly connected component, so no traversal is needed.  This
+    is the regime the paper's incremental detector targets.
+
+    With ``probe_period=0`` the pattern degenerates into a *warden*: a
+    long transaction that only anchors a group's chain, keeping its
+    history alive (exactly how a long-running transaction pins memory
+    in Section 5.1) without ever probing it.
+    """
+
+    def body(ctx):
+        yield Read(anchor, anchor_field)
+        cursors = []
+        if probe_period:
+            # the listeners publish how many seeds they have written;
+            # reading the cursors makes every later probe hit a field
+            # that provably has a (pre-scan) writer
+            for listener in range(listener_count):
+                count = yield Read(archive, f"cursor{listener}")
+                cursors.append(count or 0)
+        probes = 0
+        for i in range(iterations):
+            value = yield Read(scratch, f"cell{i}")
+            yield Write(scratch, f"cell{i}", (value or 0) + 1)
+            if probe_period and i % probe_period == probe_period - 1:
+                listener = probes % listener_count
+                index = cursors[listener] - 1 - probe_lag - probes // listener_count
+                # the seedbank is partitioned into per-burst *epoch*
+                # objects the listeners never touch again once filled;
+                # probing only epochs at least two bursts old keeps
+                # every object-granularity probe edge pointing from an
+                # old, already-registered transaction to the hub
+                if index >= 0 and index // seed_epoch < len(seedbanks):
+                    bank = seedbanks[index // seed_epoch]
+                    yield Read(bank, f"seed{listener}_{index}")
+                probes += 1
+
+    return body
+
+
+def seeder(
+    archive: SharedObject,
+    seedbanks: Sequence[SharedObject],
+    lane_base: int = 0,
+    listener_count: int = 1,
+    seed_epoch: int = 12,
+) -> Body:
+    """One write-once seed per invocation, published via a cursor.
+
+    The body takes a ``lane`` argument (the listener's index).  Each
+    invocation writes the archive's ping field — chaining the
+    transaction onto the global write-only seeder chain, which is what
+    *registers* it in the incremental engine at creation time — then
+    writes one fresh ``seed<lane>_<k>`` field on the seedbank (never
+    written again: a later hub-scan probe of it can add an edge but
+    never close a cycle) and advances the lane's cursor.  The chain is
+    acyclic by construction: every precise edge points from an older
+    seeder transaction to a newer one, so seeders can never join a
+    strongly connected component.
+
+    The seeds live on *epoch* objects separate from the ping/cursor
+    traffic so that the coarse, object-granularity detector stays
+    quiet too: seeder invocations come in same-thread bursts, one
+    burst fills one epoch object, and the listeners never touch an
+    epoch again once filled.  A hub probing only old epochs therefore
+    reads quiescent objects — at most one object-level conflict per
+    epoch ever, and none at all once the epoch is in the hub's read
+    state — while the precise per-field detector still sees one
+    distinct (old, finished) writer transaction per probe.
+    """
+
+    def body(ctx, lane):
+        # ``lane`` is the invoking worker's thread index (so the
+        # padding stays on that thread's private object); the
+        # listener's seed namespace is its offset from ``lane_base``
+        listener = lane - lane_base
+        if listener_count > 1:
+            # read a *sibling* listener's cursor: its last writer is an
+            # old transaction of another thread, so this access gives
+            # every seed transaction a precise cross-thread edge — and
+            # hence an engine registration — at creation time.  Without
+            # it, burst-interior seeds (whose ping/cursor writes follow
+            # a same-thread access) would only register lazily when the
+            # hub probes them, long after younger transactions claimed
+            # later topological positions.  Bursts do not overlap, so
+            # these sibling edges always point old -> new: acyclic.
+            yield Read(archive, f"cursor{(listener + 1) % listener_count}")
+        yield Write(archive, "ping", listener)
+        count = yield Read(archive, f"cursor{listener}")
+        index = count or 0
+        bank = seedbanks[min(index // seed_epoch, len(seedbanks) - 1)]
+        yield Write(bank, f"seed{listener}_{index}", 1)
+        yield Write(archive, f"cursor{listener}", index + 1)
+
+    return body
+
+
 def ring_write(targets: Sequence[SharedObject], start: int) -> Body:
     """Write around a ring of shared objects.
 

@@ -1,0 +1,299 @@
+"""Equivalence of the incremental engine with the reference algorithms.
+
+The engine replaces the per-edge whole-graph DFS (PDG / Velodrome) and
+the full Tarjan pass (ICD) with maintained certificates.  These tests
+pin it to brute-force references on random edge streams:
+
+* component membership after every edge equals the SCCs a from-scratch
+  Tarjan computes on the same edge multiset;
+* ``same_component`` answers exactly the "is there a cycle through
+  this edge" question the old DFS answered;
+* the maintained topological order stays valid over the condensation
+  (``check_invariants``), which is the engine's acyclicity proof;
+* work counters are monotone, so stats syncing can never regress.
+
+This mirrors the executor-equivalence suite from the previous
+optimization round (``tests/runtime/test_executor_incremental.py``).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    EDGE_CYCLE,
+    EDGE_DUPLICATE,
+    EDGE_FAST,
+    EDGE_REORDERED,
+    EDGE_SELF,
+    DirtySccScheduler,
+    IncrementalSccDigraph,
+)
+
+edges_strategy = st.lists(
+    st.tuples(st.integers(0, 14), st.integers(0, 14)),
+    min_size=0,
+    max_size=60,
+)
+
+
+def tarjan_sccs(edges):
+    """From-scratch Tarjan over the accumulated edge list (reference)."""
+    adj = {}
+    nodes = set()
+    for src, dst in edges:
+        nodes.update((src, dst))
+        adj.setdefault(src, set()).add(dst)
+    index_of, lowlink, on_stack = {}, {}, set()
+    stack, sccs = [], []
+    counter = [0]
+
+    def strongconnect(root):
+        work = [(root, iter(sorted(adj.get(root, ()))))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(adj.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+
+    for node in sorted(nodes):
+        if node not in index_of:
+            strongconnect(node)
+    return {node: frozenset(c) for c in sccs for node in c}
+
+
+def path_exists(edges, start, target):
+    """Reference per-edge DFS: is there a ``start`` ⇝ ``target`` path?"""
+    adj = {}
+    for src, dst in edges:
+        adj.setdefault(src, set()).add(dst)
+    seen, stack = {start}, [start]
+    while stack:
+        node = stack.pop()
+        if node == target:
+            return True
+        for succ in adj.get(node, ()):
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return False
+
+
+@settings(max_examples=150, deadline=None)
+@given(edges_strategy)
+def test_components_match_full_tarjan_after_every_edge(edges):
+    engine = IncrementalSccDigraph()
+    inserted = []
+    for src, dst in edges:
+        if src == dst:
+            continue  # clients never insert self-edges
+        engine.add_edge(src, dst)
+        inserted.append((src, dst))
+        engine.check_invariants()
+        reference = tarjan_sccs(inserted)
+        for node in {n for e in inserted for n in e}:
+            assert engine.component_members(node) == set(reference[node])
+            assert engine.in_cycle(node) == (len(reference[node]) > 1)
+
+
+@settings(max_examples=150, deadline=None)
+@given(edges_strategy)
+def test_same_component_answers_the_old_cycle_check(edges):
+    """After adding (src, dst), the old DFS asked: path dst ⇝ src?
+
+    The engine answers with ``same_component`` — both endpoints on a
+    cycle through the new edge iff they share an SCC.
+    """
+    engine = IncrementalSccDigraph()
+    inserted = []
+    for src, dst in edges:
+        if src == dst:
+            continue
+        engine.add_edge(src, dst)
+        inserted.append((src, dst))
+        assert engine.same_component(src, dst) == path_exists(
+            inserted, dst, src
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(edges_strategy)
+def test_outcomes_and_counter_monotonicity(edges):
+    engine = IncrementalSccDigraph()
+    previous = (0, 0, 0, 0)
+    for src, dst in edges:
+        if src == dst:
+            continue
+        before_same = engine.same_component(src, dst)
+        outcome = engine.add_edge(src, dst)
+        if before_same:
+            assert outcome == EDGE_SELF
+        else:
+            assert outcome in (
+                EDGE_FAST,
+                EDGE_REORDERED,
+                EDGE_CYCLE,
+                EDGE_DUPLICATE,
+            )
+        s = engine.stats
+        current = (s.edges, s.search_visits, s.merges, s.merged_nodes)
+        assert all(c >= p for c, p in zip(current, previous))
+        previous = current
+
+
+@settings(max_examples=100, deadline=None)
+@given(edges_strategy, st.sets(st.integers(0, 14), max_size=8))
+def test_forget_only_drops_acyclic_singletons(edges, to_forget):
+    engine = IncrementalSccDigraph()
+    inserted = []
+    for src, dst in edges:
+        if src == dst:
+            continue
+        engine.add_edge(src, dst)
+        inserted.append((src, dst))
+    engine.forget(to_forget)
+    engine.check_invariants()
+    # merged components must survive a forget: they are the acyclicity
+    # certificate for every later membership query
+    reference = tarjan_sccs(inserted)
+    for node in {n for e in inserted for n in e}:
+        if len(reference[node]) > 1:
+            assert engine.component_members(node) == set(reference[node])
+
+
+@settings(max_examples=100, deadline=None)
+@given(edges_strategy)
+def test_pdg_engine_and_legacy_find_identical_cycles(edges):
+    """The engine-gated PDG reports the exact cycles the old DFS did.
+
+    Not just the same cyclic/acyclic verdicts: the discovered edge
+    lists must be identical (blame assignment and dedup keys hang off
+    them), while the engine never visits more nodes than the
+    whole-graph search it replaces.
+    """
+    from repro.core.pdg import PDG
+
+    fast, slow = PDG(use_engine=True), PDG(use_engine=False)
+    for src, dst in edges:
+        engine_edge = fast.add_edge(src, dst)
+        legacy_edge = slow.add_edge(src, dst)
+        assert (engine_edge is None) == (legacy_edge is None)
+        if engine_edge is None:
+            continue
+        engine_cycle = fast.find_cycle_through(engine_edge)
+        legacy_cycle = slow.find_cycle_through(legacy_edge)
+        if legacy_cycle is None:
+            assert engine_cycle is None
+        else:
+            assert [(e.src, e.dst, e.order) for e in engine_cycle] == [
+                (e.src, e.dst, e.order) for e in legacy_cycle
+            ]
+    assert fast.nodes() == slow.nodes()
+    assert fast.nodes_visited <= slow.nodes_visited
+
+
+cross_ops_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 2),  # source thread
+        st.integers(0, 3),  # source back-offset on that thread's chain
+        st.integers(0, 1),  # destination thread offset (never the same)
+        st.integers(0, 3),  # destination back-offset
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(cross_ops_strategy)
+def test_scheduler_matches_reference_sccs_over_chains(ops):
+    """The chain-collapsed scheduler against full Tarjan with intra edges.
+
+    The reference graph contains every program-order (intra) edge plus
+    the cross edges; the scheduler's engine only ever sees cross-edge
+    endpoints.  Pinned properties:
+
+    * clean skip iff the reference SCC is a singleton — the skip can
+      never hide a cyclic component;
+    * an unchanged skip only re-finds a component an earlier full pass
+      already resolved, unchanged — exactly what ICD's processed-SCC
+      dedup would drop;
+    * a returned frontier's members are exactly the registered part of
+      the reference SCC, and its windows admit every member including
+      the unregistered chain interiors Tarjan must traverse.
+    """
+    scheduler = DirtySccScheduler()
+    chains = {0: [], 1: [], 2: []}
+    chain_of = {}
+    reference_edges = []
+    registered = set()
+    resolved = {}
+    next_id = 0
+
+    def tx_on(thread, back):
+        nonlocal next_id
+        while len(chains[thread]) < back + 1:
+            if chains[thread]:
+                reference_edges.append((chains[thread][-1], next_id))
+            chains[thread].append(next_id)
+            chain_of[next_id] = thread
+            next_id += 1
+        return chains[thread][-1 - back]
+
+    for src_thread, src_back, dst_offset, dst_back in ops:
+        dst_thread = (src_thread + 1 + dst_offset) % 3
+        src = tx_on(src_thread, src_back)
+        dst = tx_on(dst_thread, dst_back)
+        scheduler.note_cross_edge(src, f"T{src_thread}", dst, f"T{dst_thread}")
+        registered.update((src, dst))
+        reference_edges.append((src, dst))
+        reference = tarjan_sccs(reference_edges)
+        for node in (src, dst):
+            frontier = scheduler.frontier_for(node)
+            scc = reference[node]
+            if frontier is None:
+                if scheduler.last_skip_clean:
+                    # acyclic-certificate skip: Tarjan would have
+                    # computed a non-cyclic singleton
+                    assert len(scc) == 1
+                else:
+                    # unchanged-component skip: the pass would re-find
+                    # the already-resolved set
+                    assert resolved.get(node) == scc
+            else:
+                assert frontier.members == {
+                    m for m in scc if m in registered
+                }
+                for member in scc:
+                    assert frontier.admits(f"T{chain_of[member]}", member)
+                # a full pass resolves the component: it stays skipped
+                # until the next merge changes its membership
+                scheduler.note_checked(node, set(scc))
+                for member in scc:
+                    resolved[member] = scc

@@ -1,0 +1,107 @@
+"""End-to-end determinism of the incremental-engine swap.
+
+``tests/integration/fixtures/engine_swap_goldens.json`` was captured
+from the pre-engine code (whole-graph DFS per edge, full Tarjan per
+transaction end).  The engine is a pure scheduling optimization: the
+cycle *reports* — Table 2's blamed-method sets and Table 3's graph
+columns — must stay byte-identical, serially and under ``--jobs 4``.
+Only the work counters (visits, computations) are allowed to change.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.harness import runner, table2, table3
+from repro.harness.parallel import CellPool
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), "fixtures", "engine_swap_goldens.json"
+)
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    with open(FIXTURE) as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(autouse=True)
+def seeded_caches(tmp_path, monkeypatch, goldens):
+    """Point the final-spec cache at the fixture's recorded exclusions.
+
+    Table 3 runs under the final refined specifications; seeding the
+    cache from the golden capture pins the same specs without redoing
+    refinement, so the comparison isolates the engine swap.
+    """
+    monkeypatch.setattr(runner, "CACHE_DIR", str(tmp_path))
+    runner._FINAL_SPEC_MEMO.clear()
+    os.makedirs(str(tmp_path), exist_ok=True)
+    with open(os.path.join(str(tmp_path), "final_specs.json"), "w") as handle:
+        json.dump(goldens["final_spec_exclusions"], handle)
+    yield
+    runner._FINAL_SPEC_MEMO.clear()
+
+
+@pytest.fixture(scope="module")
+def jobs4():
+    with CellPool(4) as pool:
+        yield pool
+
+
+def _blamed_maps(result):
+    return {
+        row.name: {
+            "velodrome": sorted(row.velodrome_blamed),
+            "single": sorted(row.single_blamed),
+            "multi": sorted(row.multi_blamed),
+        }
+        for row in result.rows
+    }
+
+
+def test_table2_blamed_sets_match_pre_engine_golden(goldens):
+    params = goldens["table2_params"]
+    result = table2.generate(
+        goldens["table2_names"],
+        trials_per_step=params["trials_per_step"],
+        seed_base=params["seed_base"],
+    )
+    assert _blamed_maps(result) == goldens["table2_blamed"]
+    assert result.render() == goldens["table2_render"]
+
+
+def test_table2_parallel_matches_pre_engine_golden(goldens, jobs4):
+    params = goldens["table2_params"]
+    result = table2.generate(
+        goldens["table2_names"],
+        trials_per_step=params["trials_per_step"],
+        seed_base=params["seed_base"],
+        pool=jobs4,
+    )
+    assert _blamed_maps(result) == goldens["table2_blamed"]
+    assert result.render() == goldens["table2_render"]
+
+
+def test_table3_render_matches_pre_engine_golden(goldens):
+    params = goldens["table3_params"]
+    result = table3.generate(
+        goldens["table3_names"],
+        trials=params["trials"],
+        first_trials=params["first_trials"],
+        seed_base=params["seed_base"],
+    )
+    assert result.render() == goldens["table3_render"]
+
+
+def test_table3_parallel_matches_pre_engine_golden(goldens, jobs4):
+    params = goldens["table3_params"]
+    result = table3.generate(
+        goldens["table3_names"],
+        trials=params["trials"],
+        first_trials=params["first_trials"],
+        seed_base=params["seed_base"],
+        pool=jobs4,
+    )
+    assert result.render() == goldens["table3_render"]
