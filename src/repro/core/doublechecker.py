@@ -333,6 +333,8 @@ class DoubleChecker:
         pcd: Optional[PCD],
         elapsed: float,
     ) -> SingleRunResult:
+        if pcd is not None:
+            pcd.publish_metrics()
         return SingleRunResult(
             violations=violations,
             execution=execution,

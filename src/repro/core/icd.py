@@ -34,6 +34,8 @@ from repro.core.rwlog import ElisionFilter, ReadWriteLog
 from repro.core.scc import is_cyclic_component, scc_containing_counted
 from repro.core.transactions import IdgEdge, Transaction, TransactionManager
 from repro.graph.dirty import DirtySccScheduler
+from repro.graph.engine import GraphEngineStats
+from repro.obs.registry import publish_stats, recorder as obs_recorder
 from repro.errors import OutOfMemoryBudget
 from repro.octet.runtime import OctetListener, OctetRuntime, TransitionRecord
 from repro.runtime.events import AccessEvent
@@ -65,8 +67,6 @@ class ICDStats:
     #: transactions actually indexed by the Tarjan passes that ran —
     #: the traversal work the schedule did not avoid
     scc_visits: int = 0
-    #: nodes visited by the engine's own reorder/contraction searches
-    engine_search_visits: int = 0
     cycle_detection_calls: int = 0
     log_entries: int = 0
     log_marks: int = 0
@@ -77,6 +77,19 @@ class ICDStats:
     live_log_entry_integral: int = 0
     instrumented_accesses: int = 0
     array_accesses_skipped: int = 0
+    #: the engine's live counters (linked when the dirty-marking
+    #: scheduler is active) — ``engine_search_visits`` reads through to
+    #: them, so the value can never drift from the engine's own stats
+    engine: Optional[GraphEngineStats] = None
+
+    @property
+    def engine_search_visits(self) -> int:
+        """Nodes visited by the engine's reorder/contraction searches.
+
+        Sourced live from the shared engine counters instead of being
+        hand-copied at execution end (0 when the engine is disabled).
+        """
+        return 0 if self.engine is None else self.engine.search_visits
 
 
 class ICD(ExecutionListener, OctetListener):
@@ -143,12 +156,15 @@ class ICD(ExecutionListener, OctetListener):
         self.view = runtime_view or NullView()
 
         self.stats = ICDStats()
+        self._obs = obs_recorder()
         #: dirty-marking SCC schedule over the shared incremental graph
         #: engine; ``use_engine=False`` restores the original
         #: Tarjan-from-every-end schedule (the benchmark baseline)
         self.scheduler: Optional[DirtySccScheduler] = (
             DirtySccScheduler() if use_engine and (cycle_detection or eager_scc) else None
         )
+        if self.scheduler is not None:
+            self.stats.engine = self.scheduler.graph.stats
         # RdSh→WrEx conflicts coordinate with *every other thread that
         # ever ran* — a finished thread responds like a blocked one (the
         # implicit protocol; it will trivially never access again), and
@@ -227,8 +243,29 @@ class ICD(ExecutionListener, OctetListener):
 
     def on_execution_end(self) -> None:
         self.tx_manager.finish_all()
+        self.publish_metrics()
+
+    def publish_metrics(self) -> None:
+        """Publish every counter this analysis owns onto the registry."""
+        obs = self._obs
+        if not obs.enabled:
+            return
+        publish_stats(obs, "icd", self.stats)
+        obs.inc("icd.engine_search_visits", self.stats.engine_search_visits)
+        self.octet.stats.publish(obs)
+        for key, value in sorted(self.octet.protocol.stats().items()):
+            if isinstance(value, int) and not isinstance(value, bool):
+                obs.inc(f"octet.protocol.{key}", value)
+        publish_stats(obs, "transactions", self.tx_manager.stats)
+        publish_stats(
+            obs,
+            "gc",
+            self.collector.stats,
+            gauges=("peak_live_transactions", "peak_live_log_entries"),
+        )
+        publish_stats(obs, "elision", self._elision.stats)
         if self.scheduler is not None:
-            self.stats.engine_search_visits = self.scheduler.graph.stats.search_visits
+            self.scheduler.graph.stats.publish(obs, "icd.engine")
 
     # ------------------------------------------------------------------
     # OctetListener — the Figure 4 procedures

@@ -32,6 +32,7 @@ from repro.core.reports import ViolationRecord
 from repro.core.rwlog import AccessEntry, EdgeMark
 from repro.core.transactions import Transaction
 from repro.errors import OutOfMemoryBudget
+from repro.obs.registry import publish_stats, recorder as obs_recorder
 from repro.runtime.events import AccessKind
 
 
@@ -70,11 +71,26 @@ class PCD:
         #: incremental engine (False = original whole-graph DFS)
         self.use_engine = use_engine
         self.stats = PCDStats()
+        self._obs = obs_recorder()
         self._reported_cycles: Set[frozenset] = set()
 
     # ------------------------------------------------------------------
     def process(self, component: Sequence[Transaction]) -> List[ViolationRecord]:
         """Replay one ICD component; returns precise violations found."""
+        obs = self._obs
+        if obs.enabled:
+            with obs.span(
+                "pcd.process", category="pcd", transactions=len(component)
+            ):
+                return self._process(component)
+        return self._process(component)
+
+    def publish_metrics(self) -> None:
+        """Publish the accumulated replay counters onto the registry
+        (called once per run by :class:`~repro.core.doublechecker.DoubleChecker`)."""
+        publish_stats(self._obs, "pcd", self.stats)
+
+    def _process(self, component: Sequence[Transaction]) -> List[ViolationRecord]:
         self.stats.components_processed += 1
         members = [tx for tx in component if tx.log is not None]
         self.stats.transactions_processed += len(members)

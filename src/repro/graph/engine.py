@@ -40,6 +40,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set
 
+from repro.obs.registry import publish_stats
+
 #: outcomes of :meth:`IncrementalSccDigraph.add_edge`
 EDGE_FAST = "fast"  # respected the current order: O(1) accept
 EDGE_REORDERED = "reordered"  # affected region searched, no cycle
@@ -69,6 +71,11 @@ class GraphEngineStats:
     merges: int = 0
     merged_nodes: int = 0
     forgotten_nodes: int = 0
+
+    def publish(self, target, prefix: str) -> None:
+        """Publish the counters onto a registry under ``prefix`` (the
+        owning analysis namespaces them, e.g. ``icd.engine``)."""
+        publish_stats(target, prefix, self)
 
 
 class IncrementalSccDigraph:

@@ -10,6 +10,15 @@ Regenerates the paper's evaluation artefacts as text tables::
 independent (workload, checker, seed) cells across N worker processes;
 ``--jobs 0`` uses one worker per CPU.  Rendered tables are identical
 for any job count.
+
+Telemetry (see :mod:`repro.obs` and ``docs/OBSERVABILITY.md``):
+
+* ``--obs counters`` collects analysis counters and phase timers;
+  ``--obs full`` also records structured events for trace export.
+* ``--metrics-out FILE`` writes the merged metrics snapshot as JSON
+  (implies at least ``--obs counters``).
+* ``--trace-out FILE`` writes a Chrome trace-event JSON loadable in
+  Perfetto / ``chrome://tracing`` (implies ``--obs full``).
 """
 
 from __future__ import annotations
@@ -19,8 +28,20 @@ import os
 import sys
 from typing import List, Optional
 
+import repro
 from repro.harness import figure7, section54, table2, table3
 from repro.harness.parallel import CellPool
+from repro.obs import (
+    MODE_COUNTERS,
+    MODE_FULL,
+    MODE_OFF,
+    phase,
+    render_summary,
+    use_registry,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.registry import MetricsRegistry
 
 EXPERIMENTS = (
     "table2",
@@ -58,10 +79,32 @@ def _generate(
     raise ValueError(f"unknown experiment: {experiment}")
 
 
+def _check_writable(path: str, flag: str) -> Optional[str]:
+    """Return an error message if ``path`` cannot be written, else None.
+
+    Checked up front so a long experiment run never fails at the very
+    end with a traceback over an unwritable output path.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    if not os.path.isdir(directory):
+        return f"{flag}: directory does not exist: {directory}"
+    if os.path.isdir(path):
+        return f"{flag}: path is a directory: {path}"
+    probe = path if os.path.exists(path) else directory
+    if not os.access(probe, os.W_OK):
+        return f"{flag}: path is not writable: {path}"
+    return None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="doublechecker-experiments",
         description="Regenerate the DoubleChecker paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {repro.__version__}",
     )
     parser.add_argument(
         "experiment",
@@ -88,19 +131,82 @@ def main(argv: Optional[List[str]] = None) -> int:
             "default: $DOUBLECHECKER_JOBS or serial)"
         ),
     )
+    parser.add_argument(
+        "--obs",
+        choices=(MODE_OFF, MODE_COUNTERS, MODE_FULL),
+        default=MODE_OFF,
+        help=(
+            "telemetry mode: counters adds analysis counters and phase "
+            "timers; full also records events for --trace-out"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the merged metrics snapshot as JSON (implies --obs counters)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a Chrome trace-event JSON loadable in Perfetto "
+            "(implies --obs full)"
+        ),
+    )
     args = parser.parse_args(argv)
 
+    mode = args.obs
+    if args.trace_out:
+        mode = MODE_FULL
+    elif args.metrics_out and mode == MODE_OFF:
+        mode = MODE_COUNTERS
+
+    for path, flag in ((args.metrics_out, "--metrics-out"), (args.trace_out, "--trace-out")):
+        if path:
+            error = _check_writable(path, flag)
+            if error is not None:
+                print(f"doublechecker-experiments: error: {error}", file=sys.stderr)
+                return 2
+
     experiments = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    with CellPool(args.jobs) as pool:
-        for experiment in experiments:
-            rendered = _generate(experiment, args.names, pool=pool)
-            print(rendered)
-            print()
-            if args.out:
-                os.makedirs(args.out, exist_ok=True)
-                path = os.path.join(args.out, f"{experiment}.txt")
-                with open(path, "w") as handle:
-                    handle.write(rendered + "\n")
+
+    registry: Optional[MetricsRegistry] = None
+    previous = None
+    if mode != MODE_OFF:
+        registry = MetricsRegistry(mode)
+        previous = use_registry(registry)
+    try:
+        with CellPool(args.jobs) as pool:
+            for experiment in experiments:
+                with phase(f"experiment.{experiment}", category="experiment"):
+                    rendered = _generate(experiment, args.names, pool=pool)
+                print(rendered)
+                print()
+                if args.out:
+                    os.makedirs(args.out, exist_ok=True)
+                    path = os.path.join(args.out, f"{experiment}.txt")
+                    with open(path, "w") as handle:
+                        handle.write(rendered + "\n")
+    finally:
+        if registry is not None:
+            use_registry(previous)
+
+    if registry is not None:
+        try:
+            if args.metrics_out:
+                write_metrics_json(args.metrics_out, registry)
+            if args.trace_out:
+                write_chrome_trace(args.trace_out, registry)
+        except OSError as exc:
+            print(
+                f"doublechecker-experiments: error: could not write "
+                f"telemetry output: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(render_summary(registry))
     return 0
 
 

@@ -40,6 +40,12 @@ from concurrent.futures import Future, ProcessPoolExecutor
 from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs.registry import (
+    MetricsRegistry,
+    recorder as obs_recorder,
+    use_registry,
+)
+
 #: environment variable consulted when no explicit job count is given
 JOBS_ENV = "DOUBLECHECKER_JOBS"
 
@@ -70,6 +76,25 @@ def _init_worker() -> None:
     from repro.harness import runner
 
     runner.set_cache_readonly(True)
+
+
+def _obs_cell(mode: str, fn: Callable[..., Any], args: Sequence[Any]) -> Tuple[Any, dict]:
+    """Run one cell under a fresh telemetry registry.
+
+    Returns ``(result, snapshot)``.  Both the inline path and the
+    worker path route cells through this wrapper when telemetry is on,
+    so the merged registry — snapshots folded in **submission order**
+    — is identical for any job count (counters are derived from the
+    analyzed execution, never from timing; see
+    :meth:`repro.obs.registry.MetricsRegistry.merge`).
+    """
+    registry = MetricsRegistry(mode)
+    previous = use_registry(registry)
+    try:
+        result = fn(*args)
+    finally:
+        use_registry(previous)
+    return result, registry.snapshot()
 
 
 class CellPool:
@@ -113,14 +138,39 @@ class CellPool:
         The parallel path submits everything up front and collects in
         submission order, so the returned list is positionally
         identical to ``[fn(*args) for args in argslists]``.
+
+        When telemetry is active (see :mod:`repro.obs`), every cell —
+        inline or in a worker — runs under its own registry whose
+        snapshot is merged back into the caller's registry in
+        submission order, so serial and parallel runs of the same
+        experiment produce identical merged counters.
         """
         pending: List[Tuple[Callable[..., Any], Sequence[Any]]] = [
             (fn, tuple(args)) for args in argslists
         ]
+        target = obs_recorder()
+        if not target.enabled:
+            if self._executor is None:
+                return [f(*args) for f, args in pending]
+            futures = [self._executor.submit(f, *args) for f, args in pending]
+            return [future.result() for future in futures]
+        mode = target.mode
+        results: List[Any] = []
         if self._executor is None:
-            return [f(*args) for f, args in pending]
-        futures = [self._executor.submit(f, *args) for f, args in pending]
-        return [future.result() for future in futures]
+            for f, args in pending:
+                result, snapshot = _obs_cell(mode, f, args)
+                target.merge(snapshot)
+                results.append(result)
+            return results
+        futures = [
+            self._executor.submit(_obs_cell, mode, f, args)
+            for f, args in pending
+        ]
+        for future in futures:
+            result, snapshot = future.result()
+            target.merge(snapshot)
+            results.append(result)
+        return results
 
     def map(self, fn: Callable[..., Any], items: Iterable[Any]) -> List[Any]:
         """Like :meth:`starmap` for single-argument cells."""

@@ -30,6 +30,7 @@ from repro.core.doublechecker import (
     SingleRunResult,
 )
 from repro.core.static_info import StaticTransactionInfo
+from repro.obs.spans import phase
 from repro.runtime.executor import ExecutionResult, Executor
 from repro.runtime.program import Program
 from repro.runtime.scheduler import RandomScheduler, Scheduler
@@ -160,16 +161,17 @@ def refine_trial(
     :class:`~repro.harness.parallel.CellPool` can pickle it to worker
     processes; the worker rebuilds the program from ``name``.
     """
-    if checker == "velodrome":
-        return run_velodrome(name, spec, seed_base + trial).blamed_methods
-    if checker == "single":
-        return run_single(name, spec, seed_base + trial).blamed_methods
-    if checker == "multi":
-        result = run_multi(
-            name, spec, seed_base + trial, first_trials=first_trials
-        )
-        return result.violations.blamed_methods()
-    raise ValueError(f"unknown checker: {checker!r}")
+    with phase("cell.refine", checker=checker, workload=name, trial=trial):
+        if checker == "velodrome":
+            return run_velodrome(name, spec, seed_base + trial).blamed_methods
+        if checker == "single":
+            return run_single(name, spec, seed_base + trial).blamed_methods
+        if checker == "multi":
+            result = run_multi(
+                name, spec, seed_base + trial, first_trials=first_trials
+            )
+            return result.violations.blamed_methods()
+        raise ValueError(f"unknown checker: {checker!r}")
 
 
 def run_cell(
@@ -186,19 +188,20 @@ def run_cell(
     Experiments submit heterogeneous batches of these to a
     :class:`~repro.harness.parallel.CellPool` in one go.
     """
-    if kind == "baseline":
-        return baseline_steps(name, seed)
-    if kind == "velodrome":
-        return run_velodrome(name, spec, seed)
-    if kind == "single":
-        return run_single(name, spec, seed)
-    if kind == "first":
-        return run_first(name, spec, seed)
-    if kind == "second":
-        if info is None:
-            raise ValueError("second-run cells need static-transaction info")
-        return run_second(name, spec, info, seed)
-    raise ValueError(f"unknown cell kind: {kind!r}")
+    with phase(f"cell.{kind}", workload=name, seed=seed):
+        if kind == "baseline":
+            return baseline_steps(name, seed)
+        if kind == "velodrome":
+            return run_velodrome(name, spec, seed)
+        if kind == "single":
+            return run_single(name, spec, seed)
+        if kind == "first":
+            return run_first(name, spec, seed)
+        if kind == "second":
+            if info is None:
+                raise ValueError("second-run cells need static-transaction info")
+            return run_second(name, spec, info, seed)
+        raise ValueError(f"unknown cell kind: {kind!r}")
 
 
 # ----------------------------------------------------------------------
@@ -222,6 +225,26 @@ def refine(
     workers.  Trial seeds do not depend on the execution order, so the
     parallel path converges to exactly the serial result.
     """
+    with phase(f"refine.{checker}", workload=name):
+        return _refine(
+            name,
+            checker,
+            trials_per_step=trials_per_step,
+            seed_base=seed_base,
+            first_trials=first_trials,
+            pool=pool,
+        )
+
+
+def _refine(
+    name: str,
+    checker: str,
+    *,
+    trials_per_step: int,
+    seed_base: int,
+    first_trials: int,
+    pool: Optional["CellPool"],
+) -> RefinementResult:
     spec0 = initial_spec(name)
 
     def trial_runner(spec: AtomicitySpecification, trial: int) -> Set[str]:
@@ -328,9 +351,10 @@ def final_spec(
         excluded = [m for m in cache[name] if m in spec0.all_methods]
         spec = spec0.exclude(excluded)
     else:
-        velodrome = refine(name, "velodrome", seed_base=0, pool=pool)
-        single = refine(name, "single", seed_base=10_000, pool=pool)
-        spec = velodrome.final_spec.intersect(single.final_spec)
+        with phase("final_spec", workload=name):
+            velodrome = refine(name, "velodrome", seed_base=0, pool=pool)
+            single = refine(name, "single", seed_base=10_000, pool=pool)
+            spec = velodrome.final_spec.intersect(single.final_spec)
         cache[name] = sorted(spec.excluded)
         if use_cache:
             _store_cache(cache)

@@ -1,0 +1,77 @@
+"""Timed spans and the ``phase()`` helper.
+
+A :class:`Span` measures one timed region against a specific recorder.
+Spans nest: each maintains its depth on a per-registry stack, and the
+qualified name of a nested span is dotted under its parents is *not*
+rewritten — Chrome's trace viewer nests complete events by timestamp
+containment, so plain names render correctly.  What the stack buys is
+the ``depth`` argument on emitted events and a cheap guard against
+unbalanced exits.
+
+In ``counters`` mode a span only folds its duration into the
+``phase.<name>.seconds`` histogram (and bumps ``phase.<name>.count``);
+``full`` mode additionally emits a structured event for the exporters.
+Against the null recorder a span is a shared no-op context manager.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from repro.obs.registry import MODE_FULL, recorder
+
+
+class Span:
+    """Context manager timing one region into a registry."""
+
+    __slots__ = ("registry", "name", "category", "args", "_start")
+
+    def __init__(self, registry: Any, name: str, category: str = "phase",
+                 args: Optional[Dict[str, Any]] = None) -> None:
+        self.registry = registry
+        self.name = name
+        self.category = category
+        self.args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        registry = self.registry
+        stack = getattr(registry, "_span_stack", None)
+        if stack is None:
+            stack = registry._span_stack = []
+        stack.append(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        end = time.perf_counter()
+        registry = self.registry
+        duration = end - self._start
+        stack = registry._span_stack
+        depth = len(stack)
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        registry.observe(f"phase.{self.name}.seconds", duration)
+        registry.inc(f"phase.{self.name}.count")
+        if registry.mode == MODE_FULL:
+            args = dict(self.args) if self.args else {}
+            args["depth"] = depth
+            registry.emit_event(
+                self.name, self.category,
+                ts=self._start - registry.epoch, dur=duration, args=args,
+            )
+
+
+def phase(name: str, category: str = "phase", **fields: Any):
+    """A span over the *active* recorder (no-op when telemetry is off).
+
+    Usage::
+
+        with phase("experiment.table2", names=len(names)):
+            ...
+    """
+    return recorder().span(name, category=category, **fields)
+
+
+__all__ = ["Span", "phase"]

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.registry import publish_stats
 from repro.octet.protocol import CoordinationProtocol, CoordinationRound
 from repro.octet.states import OctetState, StateKind, rd_ex_int, wr_ex_int
 from repro.octet.transitions import Classified, TransitionKind, classify
@@ -41,6 +42,18 @@ class OctetStats:
     def slow_path(self) -> int:
         """All non-fast-path barrier executions."""
         return self.barriers - self.fast_path
+
+    def publish(self, target, prefix: str = "octet") -> None:
+        """Publish every transition-kind counter onto a registry.
+
+        ``conflicting_by_kind`` fans out to
+        ``octet.conflicting_by_kind.<kind>``; the derived slow-path
+        count is included so the metric catalog needs no arithmetic.
+        """
+        if not target.enabled:
+            return
+        publish_stats(target, prefix, self)
+        target.inc(f"{prefix}.slow_path", self.slow_path())
 
 
 @dataclass(frozen=True)

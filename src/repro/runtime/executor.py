@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import DeadlockError, ProgramError, StepLimitExceeded
+from repro.obs.registry import MODE_FULL, recorder as obs_recorder
 from repro.runtime import ops
 from repro.runtime.events import (
     LOCK_FIELD,
@@ -124,23 +125,58 @@ class Executor:
         self._live_count = 0
         self._per_thread_steps: Dict[str, int] = {}
         self._on_access = self.pipeline.on_access
+        # Telemetry.  The recorder is captured once; when telemetry is
+        # off it is the NOOP null object and ``run`` takes the exact
+        # pre-telemetry path (no per-step or per-access additions).
+        self._obs = obs_recorder()
+        self._context_switches = 0
+        self._last_chosen: Optional[str] = None
+        #: [total seconds, calls] spent inside listener dispatch when
+        #: access timing is enabled (``full`` mode only)
+        self._dispatch_time = [0.0, 0]
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def run(self) -> ExecutionResult:
         """Execute the program to completion and return a summary."""
+        obs = self._obs
+        if not obs.enabled:
+            return self._run_loop()
+        with obs.span(
+            "executor.run", category="executor", program=self.program.name
+        ):
+            result = self._run_loop(tracked=True)
+        obs.inc("executor.runs")
+        obs.inc("executor.steps", result.steps)
+        obs.inc("executor.accesses", result.access_count)
+        obs.inc("executor.sync_accesses", result.sync_access_count)
+        obs.inc("executor.threads", len(result.thread_names))
+        obs.inc("executor.context_switches", self._context_switches)
+        seconds, calls = self._dispatch_time
+        if calls:
+            obs.inc("executor.listener_dispatch.calls", calls)
+            obs.observe("executor.listener_dispatch.seconds", seconds)
+        return result
+
+    def _run_loop(self, tracked: bool = False) -> ExecutionResult:
         self.scheduler.reset()
         # rebind the access fast path in case listeners were attached
         # to the pipeline after construction
         self._on_access = self.pipeline.on_access
+        choose = self.scheduler.choose
+        if tracked:
+            # scheduler telemetry wraps ``choose`` so the untracked
+            # loop below stays byte-identical to the pre-telemetry one
+            choose = self._tracking_choose(choose)
+            if self._obs.mode == MODE_FULL and self.pipeline.listeners:
+                self._time_listener_dispatch()
         started = time.perf_counter()
         for spec in self.program.threads:
             self._spawn(spec.name, spec.method, spec.args)
 
         runnable = self._runnable
         threads = self.threads
-        choose = self.scheduler.choose
         step_limit = self.step_limit
         while self._live_count:
             if not runnable:
@@ -170,6 +206,36 @@ class Executor:
             elapsed_seconds=elapsed,
             thread_names=sorted(self.threads),
         )
+
+    # ------------------------------------------------------------------
+    # telemetry wrappers (installed only when a registry is active)
+    # ------------------------------------------------------------------
+    def _tracking_choose(self, choose):
+        """Count context switches around the scheduler's choice."""
+
+        def tracked(runnable: List[str], step: int) -> str:
+            chosen = choose(runnable, step)
+            if chosen != self._last_chosen:
+                if self._last_chosen is not None:
+                    self._context_switches += 1
+                self._last_chosen = chosen
+            return chosen
+
+        return tracked
+
+    def _time_listener_dispatch(self) -> None:
+        """Measure time spent inside the listener barrier (full mode)."""
+        inner = self._on_access
+        accumulator = self._dispatch_time
+        perf = time.perf_counter
+
+        def timed(event: AccessEvent) -> None:
+            start = perf()
+            inner(event)
+            accumulator[0] += perf() - start
+            accumulator[1] += 1
+
+        self._on_access = timed
 
     # ------------------------------------------------------------------
     # runnable-set bookkeeping

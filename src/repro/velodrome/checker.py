@@ -30,6 +30,8 @@ from repro.core.transactions import (
 )
 from repro.errors import OutOfMemoryBudget
 from repro.graph.chains import ChainCollapsedGraph, ChainFrontier
+from repro.graph.engine import GraphEngineStats
+from repro.obs.registry import publish_stats, recorder as obs_recorder
 from repro.runtime.events import AccessEvent
 from repro.runtime.executor import ExecutionResult, Executor
 from repro.runtime.listeners import ExecutionListener
@@ -54,11 +56,18 @@ class VelodromeStats:
     #: checks resolved by the engine's component certificate alone —
     #: the endpoints sat in different components, so no traversal ran
     cycle_checks_certified: int = 0
-    #: nodes visited by the engine's own reorder/contraction searches
-    engine_search_visits: int = 0
     cycles_found: int = 0
     array_accesses_skipped: int = 0
     lost_metadata_updates: int = 0
+    #: the engine's live counters (linked when the engine is active);
+    #: ``engine_search_visits`` reads through, so it cannot drift
+    engine: Optional[GraphEngineStats] = None
+
+    @property
+    def engine_search_visits(self) -> int:
+        """Nodes visited by the engine's reorder/contraction searches
+        (0 when the engine is disabled)."""
+        return 0 if self.engine is None else self.engine.search_visits
 
 
 @dataclass
@@ -138,6 +147,9 @@ class VelodromeChecker(ExecutionListener):
         self.engine: Optional[ChainCollapsedGraph] = (
             ChainCollapsedGraph() if use_engine and cycle_detection else None
         )
+        if self.engine is not None:
+            self.stats.engine = self.engine.graph.stats
+        self._obs = obs_recorder()
 
     # ------------------------------------------------------------------
     # ExecutionListener
@@ -153,8 +165,26 @@ class VelodromeChecker(ExecutionListener):
 
     def on_execution_end(self) -> None:
         self.tx_manager.finish_all()
+        self.publish_metrics()
+
+    def publish_metrics(self) -> None:
+        """Publish every counter this analysis owns onto the registry."""
+        obs = self._obs
+        if not obs.enabled:
+            return
+        publish_stats(obs, "velodrome", self.stats)
+        obs.inc(
+            "velodrome.engine_search_visits", self.stats.engine_search_visits
+        )
+        publish_stats(obs, "transactions", self.tx_manager.stats)
+        publish_stats(
+            obs,
+            "gc",
+            self.collector.stats,
+            gauges=("peak_live_transactions", "peak_live_log_entries"),
+        )
         if self.engine is not None:
-            self.stats.engine_search_visits = self.engine.graph.stats.search_visits
+            self.engine.graph.stats.publish(obs, "velodrome.engine")
 
     def on_access(self, event: AccessEvent) -> None:
         if event.is_array and not self.instrument_arrays:

@@ -1,0 +1,114 @@
+"""Exporters: metrics JSON, JSONL, Chrome trace, text summary."""
+
+import json
+
+from repro.obs.export import (
+    chrome_trace_document,
+    metrics_document,
+    render_summary,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_json,
+)
+from repro.obs.registry import MetricsRegistry, MODE_FULL
+
+
+def _sample_registry():
+    reg = MetricsRegistry(MODE_FULL)
+    reg.inc("icd.edges", 12)
+    reg.gauge_max("gc.peak", 5)
+    reg.observe("phase.run.seconds", 0.25)
+    reg.emit_event("run", "executor", ts=0.001, dur=0.25, args={"depth": 1})
+    return reg
+
+
+def test_metrics_document_shape():
+    doc = metrics_document(_sample_registry())
+    assert doc["mode"] == MODE_FULL
+    assert doc["counters"] == {"icd.edges": 12}
+    assert doc["gauges"] == {"gc.peak": 5}
+    summary = doc["histograms"]["phase.run.seconds"]
+    assert summary == {"count": 1, "total": 0.25, "min": 0.25, "max": 0.25}
+
+
+def test_exporters_accept_snapshot_dicts():
+    snapshot = _sample_registry().snapshot()
+    assert metrics_document(snapshot) == metrics_document(_sample_registry())
+
+
+def test_write_metrics_json_roundtrip(tmp_path):
+    path = tmp_path / "metrics.json"
+    write_metrics_json(str(path), _sample_registry())
+    doc = json.loads(path.read_text())
+    assert doc["counters"]["icd.edges"] == 12
+
+
+def test_write_jsonl_one_event_per_line(tmp_path):
+    reg = _sample_registry()
+    reg.emit_event("second", "executor", ts=0.3, dur=0.1)
+    path = tmp_path / "events.jsonl"
+    write_jsonl(str(path), reg)
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    assert json.loads(lines[0])["name"] == "run"
+    assert json.loads(lines[1])["name"] == "second"
+
+
+def test_chrome_trace_format():
+    reg = _sample_registry()
+    doc = chrome_trace_document(reg)
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    complete = [e for e in events if e["ph"] == "X"]
+    # one process_name metadata record per pid track
+    assert [m["name"] for m in metadata] == ["process_name"]
+    assert metadata[0]["pid"] == reg.pid
+    (event,) = complete
+    # seconds -> microseconds
+    assert event["ts"] == 1000.0
+    assert event["dur"] == 250000.0
+    assert event["pid"] == event["tid"] == reg.pid
+    assert event["args"]["depth"] == 1
+
+
+def test_chrome_trace_multiple_pids_get_tracks():
+    snapshot = {
+        "events": [
+            {"name": "a", "cat": "c", "ts": 0.0, "dur": 0.1, "pid": 1},
+            {"name": "b", "cat": "c", "ts": 0.0, "dur": 0.1, "pid": 2},
+            {"name": "c", "cat": "c", "ts": 0.2, "dur": 0.1, "pid": 1},
+        ]
+    }
+    doc = chrome_trace_document(snapshot)
+    metadata = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert sorted(m["pid"] for m in metadata) == [1, 2]
+
+
+def test_write_chrome_trace_is_valid_json(tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(str(path), _sample_registry())
+    doc = json.loads(path.read_text())
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+def test_render_summary_sections():
+    text = render_summary(_sample_registry())
+    assert "icd.edges" in text
+    assert "gc.peak" in text
+    assert "phase.run.seconds" in text
+    assert "1 span event(s)" in text
+
+
+def test_render_summary_top_truncates():
+    reg = MetricsRegistry(MODE_FULL)
+    reg.inc("small", 1)
+    reg.inc("large", 100)
+    text = render_summary(reg, top=1)
+    assert "large" in text
+    assert "small" not in text
+
+
+def test_render_summary_empty():
+    reg = MetricsRegistry(MODE_FULL)
+    assert "no metrics" in render_summary(reg)

@@ -1,0 +1,221 @@
+"""The metrics registry: counters, gauges, histograms, modes, merging."""
+
+import pickle
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    MODE_COUNTERS,
+    MODE_FULL,
+    MODE_OFF,
+    NOOP,
+    NoopSpan,
+    configure,
+    publish_stats,
+    recorder,
+    use_registry,
+)
+
+
+@pytest.fixture(autouse=True)
+def restore_recorder():
+    previous = recorder()
+    yield
+    use_registry(previous)
+
+
+# ----------------------------------------------------------------------
+# histograms
+# ----------------------------------------------------------------------
+def test_histogram_buckets_and_summary():
+    h = Histogram(bounds=(1.0, 10.0))
+    for value in (0.5, 1.0, 5.0, 100.0):
+        h.observe(value)
+    # <=1.0, <=10.0, overflow
+    assert h.counts == [2, 1, 1]
+    assert h.count == 4
+    assert h.total == pytest.approx(106.5)
+    assert h.min == 0.5
+    assert h.max == 100.0
+
+
+def test_histogram_merge_adds_bucketwise():
+    a, b = Histogram(bounds=(1.0,)), Histogram(bounds=(1.0,))
+    a.observe(0.5)
+    b.observe(2.0)
+    b.observe(0.1)
+    a.merge_dict(b.to_dict())
+    assert a.counts == [2, 1]
+    assert a.count == 3
+    assert a.min == 0.1
+    assert a.max == 2.0
+
+
+def test_histogram_merge_rejects_different_bounds():
+    a, b = Histogram(bounds=(1.0,)), Histogram(bounds=(2.0,))
+    with pytest.raises(ValueError):
+        a.merge_dict(b.to_dict())
+
+
+def test_histogram_merge_into_empty_preserves_extrema():
+    a = Histogram()
+    b = Histogram()
+    b.observe(3.0)
+    a.merge_dict(b.to_dict())
+    assert (a.min, a.max) == (3.0, 3.0)
+
+
+# ----------------------------------------------------------------------
+# registry basics
+# ----------------------------------------------------------------------
+def test_registry_rejects_off_mode():
+    with pytest.raises(ValueError):
+        MetricsRegistry(MODE_OFF)
+    with pytest.raises(ValueError):
+        MetricsRegistry("bogus")
+
+
+def test_counters_gauges_histograms():
+    reg = MetricsRegistry(MODE_COUNTERS)
+    reg.inc("a")
+    reg.inc("a", 4)
+    reg.gauge_set("g", 2.0)
+    reg.gauge_set("g", 1.0)
+    reg.gauge_max("peak", 3.0)
+    reg.gauge_max("peak", 1.0)
+    reg.observe("t", 0.5)
+    assert reg.counters["a"] == 5
+    assert reg.gauges["g"] == 1.0  # set overwrites
+    assert reg.gauges["peak"] == 3.0  # max keeps the high-water mark
+    assert reg.histograms["t"].count == 1
+
+
+def test_events_only_recorded_in_full_mode():
+    counters = MetricsRegistry(MODE_COUNTERS)
+    counters.emit_event("x", "cat", ts=0.0, dur=1.0)
+    assert counters.events == []
+    full = MetricsRegistry(MODE_FULL)
+    full.emit_event("x", "cat", ts=0.0, dur=1.0, args={"k": 1})
+    assert full.events == [
+        {"name": "x", "cat": "cat", "ts": 0.0, "dur": 1.0,
+         "pid": full.pid, "args": {"k": 1}}
+    ]
+
+
+def test_snapshot_is_sorted_and_picklable():
+    reg = MetricsRegistry(MODE_FULL)
+    reg.inc("zz")
+    reg.inc("aa")
+    reg.observe("t", 0.1)
+    reg.emit_event("e", "c", ts=0.0, dur=0.1)
+    snap = reg.snapshot()
+    assert list(snap["counters"]) == ["aa", "zz"]
+    assert snap["histograms"]["t"]["bounds"] == list(DEFAULT_BUCKETS)
+    assert pickle.loads(pickle.dumps(snap)) == snap
+
+
+def test_merge_reproduces_serial_counters():
+    parts = []
+    for value in (3, 4):
+        reg = MetricsRegistry(MODE_COUNTERS)
+        reg.inc("steps", value)
+        reg.gauge_max("peak", float(value))
+        reg.observe("t", value / 10.0)
+        parts.append(reg.snapshot())
+    merged = MetricsRegistry(MODE_COUNTERS)
+    for part in parts:
+        merged.merge(part)
+    assert merged.counters["steps"] == 7
+    assert merged.gauges["peak"] == 4.0
+    assert merged.histograms["t"].count == 2
+    # merge order does not change counter totals
+    reordered = MetricsRegistry(MODE_COUNTERS)
+    for part in reversed(parts):
+        reordered.merge(part)
+    assert reordered.snapshot()["counters"] == merged.snapshot()["counters"]
+
+
+def test_merge_drops_events_in_counters_mode():
+    full = MetricsRegistry(MODE_FULL)
+    full.emit_event("e", "c", ts=0.0, dur=0.1)
+    counters = MetricsRegistry(MODE_COUNTERS)
+    counters.merge(full.snapshot())
+    assert counters.events == []
+    other_full = MetricsRegistry(MODE_FULL)
+    other_full.merge(full.snapshot())
+    assert len(other_full.events) == 1
+
+
+# ----------------------------------------------------------------------
+# the null recorder and the process-global active recorder
+# ----------------------------------------------------------------------
+def test_noop_recorder_is_inert():
+    assert NOOP.enabled is False
+    assert NOOP.mode == MODE_OFF
+    NOOP.inc("x")
+    NOOP.observe("x", 1.0)
+    NOOP.merge({"counters": {"x": 1}})
+    assert NOOP.snapshot()["counters"] == {}
+    assert isinstance(NOOP.span("x"), NoopSpan)
+    # the span is shared: no allocation per disabled span
+    assert NOOP.span("x") is NOOP.span("y")
+
+
+def test_use_registry_returns_previous():
+    reg = MetricsRegistry(MODE_COUNTERS)
+    previous = use_registry(reg)
+    try:
+        assert recorder() is reg
+    finally:
+        use_registry(previous)
+    assert recorder() is previous
+    assert use_registry(None) is previous
+    assert recorder() is NOOP
+
+
+def test_configure_modes():
+    assert configure(MODE_OFF) is NOOP
+    reg = configure(MODE_COUNTERS)
+    assert isinstance(reg, MetricsRegistry)
+    assert recorder() is reg
+    with pytest.raises(ValueError):
+        configure("bogus")
+
+
+# ----------------------------------------------------------------------
+# dataclass publication
+# ----------------------------------------------------------------------
+@dataclass
+class _InnerStats:
+    nested: int = 9
+
+
+@dataclass
+class _FakeStats:
+    visits: int = 7
+    peak_live: int = 5
+    enabled_flag: bool = True
+    ratio: float = 0.5
+    per_kind: dict = field(default_factory=lambda: {"read": 2, "write": 3})
+    engine: _InnerStats = None
+
+
+def test_publish_stats_counters_gauges_and_dicts():
+    reg = MetricsRegistry(MODE_COUNTERS)
+    publish_stats(reg, "fake", _FakeStats(), gauges=("peak_live",))
+    assert reg.counters["fake.visits"] == 7
+    assert reg.gauges["fake.peak_live"] == 5
+    assert reg.counters["fake.per_kind.read"] == 2
+    assert reg.counters["fake.per_kind.write"] == 3
+    # bools, floats, and nested stats objects are skipped
+    assert "fake.enabled_flag" not in reg.counters
+    assert "fake.ratio" not in reg.counters
+    assert "fake.engine" not in reg.counters
+
+
+def test_publish_stats_noop_target_is_free():
+    publish_stats(NOOP, "fake", _FakeStats())  # must not raise

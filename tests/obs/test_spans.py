@@ -1,0 +1,87 @@
+"""Phase spans: timing, nesting, and event emission."""
+
+import pytest
+
+from repro.obs.registry import (
+    MetricsRegistry,
+    MODE_COUNTERS,
+    MODE_FULL,
+    NoopSpan,
+    recorder,
+    use_registry,
+)
+from repro.obs.spans import Span, phase
+
+
+@pytest.fixture(autouse=True)
+def restore_recorder():
+    previous = recorder()
+    yield
+    use_registry(previous)
+
+
+def test_span_records_histogram_and_counter():
+    reg = MetricsRegistry(MODE_COUNTERS)
+    with reg.span("work"):
+        pass
+    with reg.span("work"):
+        pass
+    assert reg.counters["phase.work.count"] == 2
+    histogram = reg.histograms["phase.work.seconds"]
+    assert histogram.count == 2
+    assert histogram.total >= 0.0
+    # counters mode records no events
+    assert reg.events == []
+
+
+def test_full_mode_emits_event_with_depth():
+    reg = MetricsRegistry(MODE_FULL)
+    with reg.span("outer", category="test"):
+        with reg.span("inner", extra="x"):
+            pass
+    # inner exits first
+    inner, outer = reg.events
+    assert inner["name"] == "inner"
+    assert inner["args"]["depth"] == 2
+    assert inner["args"]["extra"] == "x"
+    assert outer["name"] == "outer"
+    assert outer["cat"] == "test"
+    assert outer["args"]["depth"] == 1
+    # inner is contained within outer on the timeline
+    assert outer["ts"] <= inner["ts"]
+    assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-9
+
+
+def test_span_records_on_exception():
+    reg = MetricsRegistry(MODE_COUNTERS)
+    with pytest.raises(RuntimeError):
+        with reg.span("broken"):
+            raise RuntimeError("boom")
+    assert reg.counters["phase.broken.count"] == 1
+
+
+def test_phase_uses_active_recorder():
+    reg = MetricsRegistry(MODE_COUNTERS)
+    previous = use_registry(reg)
+    try:
+        with phase("p"):
+            pass
+    finally:
+        use_registry(previous)
+    assert reg.counters["phase.p.count"] == 1
+
+
+def test_phase_is_noop_when_disabled():
+    use_registry(None)
+    span = phase("anything", junk=1)
+    assert isinstance(span, NoopSpan)
+    with span:
+        pass  # must not record or raise
+
+
+def test_span_is_reusable_object():
+    reg = MetricsRegistry(MODE_COUNTERS)
+    span = Span(reg, "named")
+    with span:
+        pass
+    assert reg.counters["phase.named.count"] == 1

@@ -28,6 +28,21 @@ def test_mean_empty_raises():
         mean([])
 
 
+def test_median_empty_raises():
+    with pytest.raises(ValueError):
+        median([])
+
+
+def test_geomean_empty_raises():
+    with pytest.raises(ValueError):
+        geomean([])
+
+
+def test_confidence_interval_empty_raises():
+    with pytest.raises(ValueError):
+        confidence_interval95([])
+
+
 def test_median_odd_even():
     assert median([3, 1, 2]) == 2
     assert median([4, 1, 2, 3]) == 2.5
@@ -53,10 +68,47 @@ def test_confidence_interval_shrinks_with_samples():
     assert tight < loose
 
 
+def test_confidence_interval_two_samples_uses_t_table():
+    # n=2 -> one degree of freedom -> t = 12.706
+    values = [0.0, 2.0]
+    center, half = confidence_interval95(values)
+    assert center == 1.0
+    # variance = 2, half = t * sqrt(2/2) = t
+    assert half == pytest.approx(12.706)
+
+
+def test_confidence_interval_t_table_fallback_beyond_25():
+    # 27 samples -> 26 degrees of freedom, past the table: the normal
+    # quantile 1.96 takes over
+    values = [10.0, 12.0] * 13 + [11.0]
+    m = mean(values)
+    n = len(values)
+    variance = sum((v - m) ** 2 for v in values) / (n - 1)
+    expected = 1.96 * math.sqrt(variance / n)
+    center, half = confidence_interval95(values)
+    assert center == pytest.approx(m)
+    assert half == pytest.approx(expected)
+
+
+def test_confidence_interval_last_table_entry():
+    # 26 samples -> 25 degrees of freedom, the table's final row (2.060)
+    values = [10.0, 12.0] * 13
+    m = mean(values)
+    n = len(values)
+    variance = sum((v - m) ** 2 for v in values) / (n - 1)
+    _, half = confidence_interval95(values)
+    assert half == pytest.approx(2.060 * math.sqrt(variance / n))
+
+
 def test_normalize():
     assert normalize([2.0, 4.0], 2.0) == [1.0, 2.0]
     with pytest.raises(ValueError):
         normalize([1.0], 0.0)
+
+
+@given(positive_lists)
+def test_geomean_is_positive(values):
+    assert geomean(values) > 0.0
 
 
 @given(positive_lists)
