@@ -1,0 +1,226 @@
+"""Fault-tolerance-engine overhead microbenchmark.
+
+The recovery engine in :class:`repro.harness.parallel.CellPool`
+(retries, timeouts, fault injection, checkpointing) must be free when
+it is not in use: a serial pool with every knob at its default routes
+``starmap`` through a bare list comprehension, and this benchmark
+holds that fast path to a **2% budget** against the comprehension
+itself.  Results land in ``results/BENCH_faults.json``.
+
+**The budget is measured paired**, the same way as
+``bench_obs_overhead``: each round times the two arms in an ABBA
+sequence (bare, pool, pool, bare) with the cyclic garbage collector
+paused, and the overhead is the ratio of the two arms' **minimum**
+elapsed time across rounds — timing noise is strictly additive, so the
+per-arm minimum converges to the true unloaded cost.  A workload that
+exceeds the budget is re-measured (up to ``MAX_ATTEMPTS`` windows,
+minima pooled) to shake off co-tenant load bursts.
+
+The cells are synthetic arithmetic loops far *smaller* than any real
+(workload, checker, seed) cell, so the per-cell dispatch cost this
+measures is a conservative upper bound on what an experiment grid
+would see.
+
+Two informational rates show what *enabling* the machinery costs:
+
+* ``engine`` — the recovery engine active (``retries=2`` plus an inert
+  ``crash:0.0`` fault plan) but never firing: per-cell key assignment,
+  fault decisions, and the retry bookkeeping;
+* ``checkpoint`` — the engine plus a checkpoint file, paying one
+  atomic write-then-rename flush per completed cell.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fault_overhead.py -q
+
+or standalone (JSON only)::
+
+    PYTHONPATH=src python benchmarks/bench_fault_overhead.py
+"""
+
+import gc
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+#: pseudo-workload -> (cells per batch, inner-loop steps per cell)
+BENCH_SIZES = {
+    "small_cells": (64, 400),
+    "medium_cells": (16, 8000),
+}
+#: interleaved paired rounds for the bare-vs-pool comparison
+ROUNDS = 10
+#: extra measurement windows when a load burst poisons the first one
+MAX_ATTEMPTS = 3
+#: rounds for the informational engine/checkpoint rates
+ENABLED_ROUNDS = 4
+#: maximum tolerated fast-path slowdown vs a bare list comprehension
+#: (the PR acceptance budget)
+OVERHEAD_BUDGET_PERCENT = 2.0
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+RESULTS_PATH = os.path.join(RESULTS_DIR, "BENCH_faults.json")
+
+#: environment knobs that would silently push the default pool off the
+#: fast path mid-benchmark
+_KNOB_ENVS = (
+    "DOUBLECHECKER_JOBS",
+    "DOUBLECHECKER_RETRIES",
+    "DOUBLECHECKER_CELL_TIMEOUT",
+    "DOUBLECHECKER_CHECKPOINT",
+    "DOUBLECHECKER_FAULT_SPEC",
+    "DOUBLECHECKER_FAULT_SEED",
+)
+
+
+def _cell(n):
+    total = 0
+    for i in range(n):
+        total += (i ^ (i >> 3)) * 31 % 97
+    return total
+
+
+def _measure():
+    """Steps/sec per pseudo-workload for each arm, plus the paired
+    fast-path overhead ratio."""
+    from repro.harness.parallel import CellPool
+
+    saved = {name: os.environ.pop(name, None) for name in _KNOB_ENVS}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    report = {}
+    try:
+        for name, (cells, inner) in BENCH_SIZES.items():
+            argslists = [(inner,)] * cells
+            steps = cells * inner
+
+            def bare():
+                start = time.perf_counter()
+                results = [_cell(*args) for args in argslists]
+                elapsed = time.perf_counter() - start
+                assert len(results) == cells
+                return elapsed
+
+            def pooled(**knobs):
+                pool = CellPool(1, **knobs)
+                start = time.perf_counter()
+                results = pool.starmap(_cell, argslists)
+                elapsed = time.perf_counter() - start
+                pool.close()
+                assert len(results) == cells
+                return elapsed
+
+            bare_times, pool_times = [], []
+            for attempt in range(MAX_ATTEMPTS):
+                for _ in range(ROUNDS):
+                    gc.collect()
+                    # ABBA: the bare comprehension brackets the default
+                    # pool, so linear load drift hits both arms equally
+                    bare_times.append(bare())
+                    pool_times.append(pooled())
+                    pool_times.append(pooled())
+                    bare_times.append(bare())
+                overhead = 100.0 * (min(pool_times) / min(bare_times) - 1.0)
+                if overhead <= OVERHEAD_BUDGET_PERCENT:
+                    break
+
+            engine_times, checkpoint_times = [], []
+            for _ in range(ENABLED_ROUNDS):
+                gc.collect()
+                engine_times.append(
+                    pooled(retries=2, fault_spec="crash:0.0", fault_seed=0)
+                )
+                fd, ck_path = tempfile.mkstemp(suffix=".jsonl")
+                os.close(fd)
+                os.unlink(ck_path)  # the pool creates it on first flush
+                try:
+                    checkpoint_times.append(
+                        pooled(retries=2, checkpoint=ck_path)
+                    )
+                finally:
+                    if os.path.exists(ck_path):
+                        os.unlink(ck_path)
+
+            report[name] = {
+                "bare_loop_steps_per_second": round(steps / min(bare_times)),
+                "pool_steps_per_second": round(steps / min(pool_times)),
+                "engine_steps_per_second": round(steps / min(engine_times)),
+                "checkpoint_steps_per_second": round(
+                    steps / min(checkpoint_times)
+                ),
+                "fastpath_overhead_percent": round(
+                    100.0 * (min(pool_times) / min(bare_times) - 1.0), 2
+                ),
+            }
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        for name, value in saved.items():
+            if value is not None:
+                os.environ[name] = value
+    return report
+
+
+def write_report():
+    workloads = _measure()
+    report = {
+        "python": platform.python_version(),
+        "rounds": ROUNDS,
+        "overhead_budget_percent": OVERHEAD_BUDGET_PERCENT,
+        "max_fastpath_overhead_percent": max(
+            stats["fastpath_overhead_percent"] for stats in workloads.values()
+        ),
+        "workloads": workloads,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def check_overhead_budget(report=None):
+    """Return a list of budget violations (empty = within budget).
+
+    Shared by the pytest wrapper below and
+    ``benchmarks/check_bench_regression.py``.
+    """
+    if report is None:
+        report = write_report()
+    budget = report["overhead_budget_percent"]
+    violations = []
+    for name, stats in sorted(report["workloads"].items()):
+        overhead = stats["fastpath_overhead_percent"]
+        if overhead > budget:
+            violations.append(
+                f"{name}: fast-path overhead {overhead:.2f}% exceeds the "
+                f"{budget:.0f}% budget "
+                f"(pool={stats['pool_steps_per_second']} vs "
+                f"bare={stats['bare_loop_steps_per_second']})"
+            )
+    return violations
+
+
+def test_fastpath_overhead():
+    """The default pool's starmap must stay within the 2% budget of a
+    bare list comprehension (min of paired rounds); refreshes
+    ``results/BENCH_faults.json`` as a side effect."""
+    report = write_report()
+    for stats in report["workloads"].values():
+        assert stats["pool_steps_per_second"] > 0
+        assert stats["engine_steps_per_second"] > 0
+        assert stats["checkpoint_steps_per_second"] > 0
+    violations = check_overhead_budget(report)
+    assert not violations, "\n".join(violations)
+
+
+if __name__ == "__main__":
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(__file__), "..", "src")
+    )
+    printed = write_report()
+    json.dump(printed, sys.stdout, indent=2, sort_keys=True)
+    print()

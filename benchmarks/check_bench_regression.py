@@ -25,6 +25,7 @@ intentional change — or on new hardware — regenerate them with::
     PYTHONPATH=src python benchmarks/bench_executor_throughput.py
     PYTHONPATH=src python benchmarks/bench_analysis_throughput.py
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+    PYTHONPATH=src python benchmarks/bench_fault_overhead.py
 
 Run the gate with::
 
@@ -45,6 +46,7 @@ BASELINES = {
     "BENCH_executor.json": ("bench_executor_throughput", 0.30),
     "BENCH_analysis.json": ("bench_analysis_throughput", 0.30),
     "BENCH_obs.json": ("bench_obs_overhead", 0.30),
+    "BENCH_faults.json": ("bench_fault_overhead", 0.30),
 }
 
 

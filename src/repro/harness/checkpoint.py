@@ -1,0 +1,170 @@
+"""Crash-safe checkpointing of completed experiment cells.
+
+A multi-minute experiment grid must survive a ``kill -9``: every
+completed (workload, checker, seed) cell is a pure function of its
+arguments, so persisting each cell's result as it completes lets a
+resumed run skip straight past the work it already did and re-render
+the identical table.
+
+**Cell identity.**  :func:`cell_key` derives a stable key from the
+cell function's qualified name and a canonical rendering of its
+arguments (sets sorted, dicts ordered, dataclasses field-wise) — never
+from ``hash()`` or pickle bytes, both of which vary across processes.
+Two cells with identical functions and arguments are distinguished by
+an occurrence counter assigned in submission order (submission order
+is deterministic, so numbering is reproducible across runs).
+
+**File format.**  A JSONL file: one header line, then one record per
+completed cell::
+
+    {"format": "doublechecker-checkpoint/1"}
+    {"key": "<cell key>", "data": "<base64 pickle of (result, snapshot)>"}
+
+``snapshot`` is the cell's telemetry snapshot (or ``None`` when
+telemetry was off), so a resumed ``--obs`` run merges the same
+counters the original would have.
+
+**Crash safety.**  Every flush writes the *entire* record list to a
+temporary file in the same directory and ``os.replace``-s it over the
+destination — readers (including a resumed run) never observe a
+half-written file, no matter when the writer died.  Loading is
+additionally lenient: malformed lines (e.g. from a foreign or
+truncated file) are skipped rather than fatal.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+FORMAT = "doublechecker-checkpoint/1"
+
+#: sentinel distinguishing "no checkpoint entry" from a stored ``None``
+MISSING = object()
+
+
+def _canonical(value: Any) -> str:
+    """A deterministic, process-independent rendering of a cell
+    argument (the input to :func:`cell_key`)."""
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canonical(v) for v in value) + "]"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(_canonical(v) for v in value)) + "}"
+    if isinstance(value, dict):
+        items = sorted(
+            (_canonical(k), _canonical(v)) for k, v in value.items()
+        )
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{f.name}={_canonical(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__qualname__}({fields})"
+    # last resort; fine for stateless marker objects, unstable for
+    # anything whose repr embeds an address
+    return repr(value)
+
+
+def cell_key(fn: Callable[..., Any], args: Sequence[Any]) -> str:
+    """Stable identity of one cell: function + canonical arguments."""
+    token = f"{fn.__module__}.{fn.__qualname__}|{_canonical(tuple(args))}"
+    return hashlib.sha256(token.encode()).hexdigest()[:24]
+
+
+class Checkpoint:
+    """An append-style JSONL store of completed cell payloads.
+
+    Construction loads any existing records, so a resumed run starts
+    with every previously completed cell already in memory.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = os.path.abspath(path)
+        self._records: Dict[str, Tuple[Any, Optional[dict]]] = {}
+        self._order: list = []  # keys in completion order, for rewrites
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            with open(self.path) as handle:
+                lines = handle.readlines()
+        except OSError:
+            return
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                key = record["key"]
+                payload = pickle.loads(base64.b64decode(record["data"]))
+            except (ValueError, KeyError, TypeError, pickle.PickleError):
+                continue  # header, foreign, or truncated line
+            if key not in self._records:
+                self._order.append(key)
+            self._records[key] = payload
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def get(self, key: str) -> Any:
+        """The stored ``(result, snapshot)`` payload, or :data:`MISSING`."""
+        return self._records.get(key, MISSING)
+
+    def add(self, key: str, result: Any, snapshot: Optional[dict]) -> None:
+        """Record one completed cell and flush immediately.
+
+        Re-recording an existing key is a no-op (a resumed run may race
+        nothing — cells are pure, the first stored result stands).
+        """
+        if key in self._records:
+            return
+        self._records[key] = (result, snapshot)
+        self._order.append(key)
+        self.flush()
+
+    def flush(self) -> None:
+        """Atomically rewrite the file with every record.
+
+        Write-to-temp plus ``os.replace`` in the checkpoint's own
+        directory: a crash mid-flush leaves the previous file intact,
+        and a reader never sees a partial record.
+        """
+        directory = os.path.dirname(self.path) or "."
+        lines = [json.dumps({"format": FORMAT})]
+        for key in self._order:
+            result, snapshot = self._records[key]
+            data = base64.b64encode(
+                pickle.dumps((result, snapshot))
+            ).decode("ascii")
+            lines.append(json.dumps({"key": key, "data": data}))
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".checkpoint-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write("\n".join(lines) + "\n")
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+
+__all__ = ["Checkpoint", "FORMAT", "MISSING", "cell_key"]

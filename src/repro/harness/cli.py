@@ -11,6 +11,19 @@ independent (workload, checker, seed) cells across N worker processes;
 ``--jobs 0`` uses one worker per CPU.  Rendered tables are identical
 for any job count.
 
+Fault tolerance (see ``docs/ROBUSTNESS.md``):
+
+* ``--retries N`` retries each cell up to N times after a transient
+  failure, worker crash, or timeout (``DOUBLECHECKER_RETRIES``);
+* ``--cell-timeout SECONDS`` kills and retries cells that hang
+  (``DOUBLECHECKER_CELL_TIMEOUT``);
+* ``--checkpoint FILE`` persists every completed cell to a JSONL file
+  (atomic write-then-rename) so a killed run, re-invoked with the same
+  flag, skips completed cells and renders the identical output
+  (``DOUBLECHECKER_CHECKPOINT``);
+* ``--fault-spec SPEC`` injects deterministic faults for testing the
+  recovery paths, e.g. ``crash:0.2`` (``DOUBLECHECKER_FAULT_SPEC``).
+
 Telemetry (see :mod:`repro.obs` and ``docs/OBSERVABILITY.md``):
 
 * ``--obs counters`` collects analysis counters and phase timers;
@@ -96,6 +109,34 @@ def _check_writable(path: str, flag: str) -> Optional[str]:
     return None
 
 
+def _check_writable_dir(path: str, flag: str) -> Optional[str]:
+    """Return an error message if the results *directory* ``path``
+    cannot be created/written, else None.
+
+    ``--out`` may name a directory that does not exist yet
+    (``os.makedirs`` creates it), so the check walks up to the nearest
+    existing ancestor and requires it to be a writable directory.
+    """
+    path = os.path.abspath(path)
+    if os.path.exists(path):
+        if not os.path.isdir(path):
+            return f"{flag}: path exists and is not a directory: {path}"
+        if not os.access(path, os.W_OK):
+            return f"{flag}: directory is not writable: {path}"
+        return None
+    probe = os.path.dirname(path)
+    while not os.path.exists(probe):
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            break
+        probe = parent
+    if not os.path.isdir(probe):
+        return f"{flag}: cannot create directory under {probe}"
+    if not os.access(probe, os.W_OK):
+        return f"{flag}: directory is not writable: {probe}"
+    return None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="doublechecker-experiments",
@@ -132,6 +173,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help=(
+            "extra attempts per cell after a transient failure, worker "
+            "crash, or timeout (default: $DOUBLECHECKER_RETRIES or 0)"
+        ),
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "kill and retry cells that run longer than this "
+            "(default: $DOUBLECHECKER_CELL_TIMEOUT or no timeout; "
+            "needs --jobs > 1 to preempt)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help=(
+            "JSONL checkpoint of completed cells; a killed run resumed "
+            "with the same file skips completed cells "
+            "(default: $DOUBLECHECKER_CHECKPOINT or none)"
+        ),
+    )
+    parser.add_argument(
+        "--fault-spec",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject deterministic faults, e.g. crash:0.2 or "
+            "transient:0.3:limit=2 — for testing the recovery paths "
+            "(default: $DOUBLECHECKER_FAULT_SPEC or none)"
+        ),
+    )
+    parser.add_argument(
         "--obs",
         choices=(MODE_OFF, MODE_COUNTERS, MODE_FULL),
         default=MODE_OFF,
@@ -163,14 +244,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.metrics_out and mode == MODE_OFF:
         mode = MODE_COUNTERS
 
-    for path, flag in ((args.metrics_out, "--metrics-out"), (args.trace_out, "--trace-out")):
+    for path, flag in (
+        (args.metrics_out, "--metrics-out"),
+        (args.trace_out, "--trace-out"),
+        (args.checkpoint, "--checkpoint"),
+    ):
         if path:
             error = _check_writable(path, flag)
             if error is not None:
                 print(f"doublechecker-experiments: error: {error}", file=sys.stderr)
                 return 2
+    if args.out:
+        error = _check_writable_dir(args.out, "--out")
+        if error is not None:
+            print(f"doublechecker-experiments: error: {error}", file=sys.stderr)
+            return 2
 
     experiments = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+
+    try:
+        pool = CellPool(
+            args.jobs,
+            retries=args.retries,
+            cell_timeout=args.cell_timeout,
+            checkpoint=args.checkpoint,
+            fault_spec=args.fault_spec,
+        )
+    except ValueError as exc:
+        # covers bad env values and malformed --fault-spec clauses
+        print(f"doublechecker-experiments: error: {exc}", file=sys.stderr)
+        return 2
 
     registry: Optional[MetricsRegistry] = None
     previous = None
@@ -178,17 +281,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         registry = MetricsRegistry(mode)
         previous = use_registry(registry)
     try:
-        with CellPool(args.jobs) as pool:
+        with pool:
             for experiment in experiments:
                 with phase(f"experiment.{experiment}", category="experiment"):
                     rendered = _generate(experiment, args.names, pool=pool)
                 print(rendered)
                 print()
                 if args.out:
-                    os.makedirs(args.out, exist_ok=True)
-                    path = os.path.join(args.out, f"{experiment}.txt")
-                    with open(path, "w") as handle:
-                        handle.write(rendered + "\n")
+                    try:
+                        os.makedirs(args.out, exist_ok=True)
+                        path = os.path.join(args.out, f"{experiment}.txt")
+                        with open(path, "w") as handle:
+                            handle.write(rendered + "\n")
+                    except OSError as exc:
+                        # the pre-flight check covers the common cases;
+                        # this catches races and exotic filesystems so
+                        # a finished experiment still exits readably
+                        print(
+                            f"doublechecker-experiments: error: could not "
+                            f"write results: {exc}",
+                            file=sys.stderr,
+                        )
+                        return 2
     finally:
         if registry is not None:
             use_registry(previous)

@@ -1,0 +1,258 @@
+"""Deterministic fault injection for the experiment harness.
+
+Long experiment grids (Table 2/3, Figure 7, the Section 5.4 studies)
+fan hundreds of independent cells across worker processes; on real
+machines workers crash, cells hang, and transient ``OSError``\\ s fire
+late.  The recovery paths in :class:`~repro.harness.parallel.CellPool`
+— bounded retry, per-cell timeouts, pool rebuilds, checkpoint/resume —
+are only trustworthy if every one of them can be exercised on demand,
+so this module injects the failures *deterministically*:
+
+* whether a fault fires for a cell is a pure function of the fault
+  seed, the fault kind, the cell's stable key (see
+  :func:`repro.harness.checkpoint.cell_key`), and the attempt number —
+  SHA-256, never ``random`` or ``hash()``, so decisions are identical
+  across processes, runs, and ``PYTHONHASHSEED`` values;
+* faults never corrupt results: an injected fault either kills the
+  worker, hangs it, or raises before the cell function runs, so any
+  cell that *completes* is untouched and the recovered experiment
+  renders byte-identical to a fault-free serial run.
+
+Fault specs are comma-separated ``kind:probability[:opt=value...]``
+clauses, e.g.::
+
+    crash:0.2                     # 20% of cells kill their worker
+    hang:0.1:seconds=3600         # 10% of cells hang (until killed)
+    transient:0.3:limit=2         # 30% raise TransientCellError twice
+
+Kinds:
+
+``crash``
+    The worker process dies via ``os._exit`` (the pool observes
+    ``BrokenProcessPool``).  Inline (serial) cells raise
+    :class:`SimulatedCrash` instead — the parent must survive.
+``hang``
+    The worker sleeps for ``seconds`` (default one hour) so the
+    per-cell timeout machinery has something to kill.  Inline cells
+    raise :class:`InjectedHang` immediately instead of sleeping.
+``transient``
+    Raises :class:`TransientCellError`, the retry path's bread and
+    butter.
+
+``limit`` (default 1) caps how many *attempts* of one cell a clause
+may sabotage: attempt numbers ``0 .. limit-1`` are eligible, later
+retries run clean.  With the default limit every injected fault is
+recovered by a single retry, which keeps ``--retries 2`` sufficient
+for any probability — campaigns stay deterministic instead of
+occasionally dying to an unlucky streak.
+
+The spec comes from (highest precedence first) an explicit
+``fault_spec=`` argument, the ``--fault-spec`` CLI flag, or the
+``DOUBLECHECKER_FAULT_SPEC`` environment variable; the seed from
+``fault_seed=`` / ``DOUBLECHECKER_FAULT_SEED`` (default 0).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: environment variables consulted when no explicit spec/seed is given
+FAULT_SPEC_ENV = "DOUBLECHECKER_FAULT_SPEC"
+FAULT_SEED_ENV = "DOUBLECHECKER_FAULT_SEED"
+
+KINDS = ("crash", "hang", "transient")
+
+#: exit status of a worker killed by an injected crash (diagnostic only)
+CRASH_EXIT_CODE = 121
+
+
+class FaultInjectionError(ValueError):
+    """Raised for malformed fault specs."""
+
+
+class TransientCellError(Exception):
+    """An injected transient failure; the retry path must absorb it."""
+
+
+class SimulatedCrash(Exception):
+    """Inline stand-in for a worker crash (serial cells must not take
+    the parent process down with ``os._exit``)."""
+
+
+class InjectedHang(Exception):
+    """Inline stand-in for a hung cell (serial cells cannot be
+    preempted, so the hang surfaces as an immediate timeout-like
+    failure instead of sleeping)."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One ``kind:probability[:opt=value...]`` clause."""
+
+    kind: str
+    probability: float
+    #: attempts ``0 .. limit-1`` are eligible for injection
+    limit: int = 1
+    #: how long an injected hang sleeps in a worker
+    seconds: float = 3600.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed fault spec: picklable, shippable to worker processes."""
+
+    rules: Tuple[FaultRule, ...]
+    seed: int = 0
+
+    def decide(self, key: str, attempt: int) -> Optional[FaultRule]:
+        """The rule (if any) that fires for ``(key, attempt)``.
+
+        Pure and deterministic: the same plan, key, and attempt always
+        produce the same decision, in any process.
+        """
+        for rule in self.rules:
+            if attempt >= rule.limit or rule.probability <= 0.0:
+                continue
+            if _chance(self.seed, rule.kind, key, attempt) < rule.probability:
+                return rule
+        return None
+
+    def fire(self, key: str, attempt: int, *, in_worker: bool) -> None:
+        """Inject the decided fault for ``(key, attempt)``, if any.
+
+        Called at the top of every guarded cell, before the cell
+        function runs — a fired fault therefore never leaves a
+        half-computed result behind.
+        """
+        rule = self.decide(key, attempt)
+        if rule is None:
+            return
+        if rule.kind == "crash":
+            if in_worker:
+                os._exit(CRASH_EXIT_CODE)
+            raise SimulatedCrash(
+                f"injected worker crash for cell {key} attempt {attempt}"
+            )
+        if rule.kind == "hang":
+            if in_worker:
+                time.sleep(rule.seconds)
+                # a killed worker never gets here; if the sleep expires
+                # the cell still must not produce a result
+            raise InjectedHang(
+                f"injected hang for cell {key} attempt {attempt}"
+            )
+        raise TransientCellError(
+            f"injected transient failure for cell {key} attempt {attempt}"
+        )
+
+
+def _chance(seed: int, kind: str, key: str, attempt: int) -> float:
+    """A uniform [0, 1) draw, deterministic in its arguments."""
+    token = f"{seed}:{kind}:{key}:{attempt}".encode()
+    digest = hashlib.sha256(token).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def parse_fault_spec(text: str, seed: int = 0) -> Optional[FaultPlan]:
+    """Parse ``kind:prob[:opt=value...][,...]``; empty text means no plan."""
+    text = (text or "").strip()
+    if not text:
+        return None
+    rules = []
+    for clause in text.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        parts = clause.split(":")
+        if len(parts) < 2:
+            raise FaultInjectionError(
+                f"fault clause needs kind:probability, got {clause!r}"
+            )
+        kind = parts[0].strip()
+        if kind not in KINDS:
+            raise FaultInjectionError(
+                f"unknown fault kind {kind!r} (expected one of {KINDS})"
+            )
+        try:
+            probability = float(parts[1])
+        except ValueError:
+            raise FaultInjectionError(
+                f"fault probability must be a number, got {parts[1]!r}"
+            ) from None
+        if not 0.0 <= probability <= 1.0:
+            raise FaultInjectionError(
+                f"fault probability must be in [0, 1], got {probability}"
+            )
+        options = {"limit": 1, "seconds": 3600.0}
+        for option in parts[2:]:
+            name, _, value = option.partition("=")
+            name = name.strip()
+            if name not in options or not value:
+                raise FaultInjectionError(
+                    f"bad fault option {option!r} (expected "
+                    f"limit=N or seconds=S)"
+                )
+            try:
+                options[name] = int(value) if name == "limit" else float(value)
+            except ValueError:
+                raise FaultInjectionError(
+                    f"bad value for fault option {option!r}"
+                ) from None
+        if options["limit"] < 1:
+            raise FaultInjectionError("fault limit must be >= 1")
+        rules.append(
+            FaultRule(
+                kind=kind,
+                probability=probability,
+                limit=options["limit"],
+                seconds=options["seconds"],
+            )
+        )
+    if not rules:
+        return None
+    return FaultPlan(tuple(rules), seed=seed)
+
+
+def resolve_fault_plan(
+    spec: Optional[str] = None, seed: Optional[int] = None
+) -> Optional[FaultPlan]:
+    """Build the active plan from an explicit spec or the environment.
+
+    ``None`` spec falls back to ``DOUBLECHECKER_FAULT_SPEC``; an empty
+    spec (or environment) disables injection entirely.  The seed falls
+    back to ``DOUBLECHECKER_FAULT_SEED`` and then 0.
+    """
+    if spec is None:
+        spec = os.environ.get(FAULT_SPEC_ENV, "")
+    if seed is None:
+        raw = os.environ.get(FAULT_SEED_ENV, "").strip()
+        if raw:
+            try:
+                seed = int(raw)
+            except ValueError:
+                raise FaultInjectionError(
+                    f"{FAULT_SEED_ENV} must be an integer, got {raw!r}"
+                ) from None
+        else:
+            seed = 0
+    return parse_fault_spec(spec, seed=seed)
+
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FAULT_SEED_ENV",
+    "FAULT_SPEC_ENV",
+    "FaultInjectionError",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedHang",
+    "KINDS",
+    "SimulatedCrash",
+    "TransientCellError",
+    "parse_fault_spec",
+    "resolve_fault_plan",
+]

@@ -144,6 +144,9 @@ def unsound_velodrome(
     model: Optional[CostModel] = None,
     crash_threshold: int = 15,
     jobs: Optional[int] = None,
+    retries: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
+    checkpoint: Optional[str] = None,
     pool: Optional[CellPool] = None,
 ) -> UnsoundVelodromeResult:
     """Compare sound Velodrome with the unsound variant.
@@ -155,7 +158,10 @@ def unsound_velodrome(
     model = model or CostModel()
     seeds = [seed_base + i for i in range(trials)]
     rows = []
-    with ensure_pool(pool, jobs) as cells:
+    with ensure_pool(
+        pool, jobs,
+        retries=retries, cell_timeout=cell_timeout, checkpoint=checkpoint,
+    ) as cells:
         for name in names or compute_bound_names():
             spec = runner.final_spec(name, pool=cells)
             sound_values = cells.starmap(
@@ -208,6 +214,9 @@ def refinement_phases(
     seed_base: int = 70_000,
     model: Optional[CostModel] = None,
     jobs: Optional[int] = None,
+    retries: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
+    checkpoint: Optional[str] = None,
     pool: Optional[CellPool] = None,
 ) -> RefinementPhasesResult:
     """Single-run mode's cost at the start/halfway/end of refinement.
@@ -217,7 +226,10 @@ def refinement_phases(
     """
     model = model or CostModel()
     rows: Dict[str, Tuple[float, float, float]] = {}
-    with ensure_pool(pool, jobs) as cells:
+    with ensure_pool(
+        pool, jobs,
+        retries=retries, cell_timeout=cell_timeout, checkpoint=checkpoint,
+    ) as cells:
         for name in names or compute_bound_names():
             refinement = runner.refine(
                 name, "single", seed_base=seed_base, pool=cells
@@ -273,6 +285,9 @@ def arrays(
     seed_base: int = 80_000,
     model: Optional[CostModel] = None,
     jobs: Optional[int] = None,
+    retries: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
+    checkpoint: Optional[str] = None,
     pool: Optional[CellPool] = None,
 ) -> ArraysResult:
     """The Section 5.4 array-instrumentation comparison."""
@@ -287,7 +302,10 @@ def arrays(
         for instrument in (False, True)
     ]
     rows: Dict[str, Tuple[float, float, float, float]] = {}
-    with ensure_pool(pool, jobs) as cells:
+    with ensure_pool(
+        pool, jobs,
+        retries=retries, cell_timeout=cell_timeout, checkpoint=checkpoint,
+    ) as cells:
         for name in selected:
             spec = runner.final_spec(name, pool=cells)
             batch = [
@@ -342,6 +360,9 @@ def pcd_only(
     pcd_memory_budget: int = 9_000,
     model: Optional[CostModel] = None,
     jobs: Optional[int] = None,
+    retries: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
+    checkpoint: Optional[str] = None,
     pool: Optional[CellPool] = None,
 ) -> PcdOnlyResult:
     """Compare single-run mode with the PCD-only variant."""
@@ -349,7 +370,10 @@ def pcd_only(
     seeds = [seed_base + i for i in range(trials)]
     rows: Dict[str, Tuple[float, Optional[float]]] = {}
     oom: List[str] = []
-    with ensure_pool(pool, jobs) as cells:
+    with ensure_pool(
+        pool, jobs,
+        retries=retries, cell_timeout=cell_timeout, checkpoint=checkpoint,
+    ) as cells:
         for name in names or compute_bound_names():
             spec = runner.final_spec(name, pool=cells)
             single_values = cells.starmap(
@@ -399,6 +423,9 @@ def second_run_variants(
     seed_base: int = 95_000,
     model: Optional[CostModel] = None,
     jobs: Optional[int] = None,
+    retries: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
+    checkpoint: Optional[str] = None,
     pool: Optional[CellPool] = None,
 ) -> SecondRunVariantsResult:
     """Evaluate the conditional-unary optimization and Velodrome-as-
@@ -406,7 +433,10 @@ def second_run_variants(
     model = model or CostModel()
     seeds = [seed_base + 100 + i for i in range(trials)]
     rows: Dict[str, Tuple[float, float, float]] = {}
-    with ensure_pool(pool, jobs) as cells:
+    with ensure_pool(
+        pool, jobs,
+        retries=retries, cell_timeout=cell_timeout, checkpoint=checkpoint,
+    ) as cells:
         for name in names or compute_bound_names():
             spec = runner.final_spec(name, pool=cells)
             firsts = cells.starmap(

@@ -1,0 +1,110 @@
+"""Checkpoint store: stable cell keys, atomic flushes, lenient loads."""
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.harness.checkpoint import FORMAT, MISSING, Checkpoint, cell_key
+
+
+def _cell_fn(name, seed):
+    return (name, seed)
+
+
+@dataclass
+class _Spec:
+    name: str
+    methods: tuple
+
+
+# ----------------------------------------------------------------------
+# cell identity
+# ----------------------------------------------------------------------
+def test_cell_key_is_stable_and_argument_sensitive():
+    assert cell_key(_cell_fn, ("hsqldb6", 1)) == cell_key(_cell_fn, ("hsqldb6", 1))
+    assert cell_key(_cell_fn, ("hsqldb6", 1)) != cell_key(_cell_fn, ("hsqldb6", 2))
+    assert cell_key(_cell_fn, ("hsqldb6", 1)) != cell_key(_Spec, ("hsqldb6", 1))
+
+
+def test_cell_key_canonicalizes_unordered_collections():
+    # set/dict iteration order varies across processes; the key must not
+    assert cell_key(_cell_fn, ({"b", "a", "c"},)) == cell_key(
+        _cell_fn, ({"c", "a", "b"},)
+    )
+    assert cell_key(_cell_fn, ({"x": 1, "y": 2},)) == cell_key(
+        _cell_fn, ({"y": 2, "x": 1},)
+    )
+
+
+def test_cell_key_renders_dataclasses_field_wise():
+    a = _Spec("hsqldb6", ("m1", "m2"))
+    b = _Spec("hsqldb6", ("m1", "m2"))
+    assert a is not b
+    assert cell_key(_cell_fn, (a,)) == cell_key(_cell_fn, (b,))
+    assert cell_key(_cell_fn, (a,)) != cell_key(
+        _cell_fn, (_Spec("hsqldb6", ("m1",)),)
+    )
+
+
+# ----------------------------------------------------------------------
+# persistence
+# ----------------------------------------------------------------------
+def test_roundtrip_and_reload(tmp_path):
+    path = str(tmp_path / "ck.jsonl")
+    store = Checkpoint(path)
+    assert len(store) == 0
+    assert store.get("k1") is MISSING
+
+    store.add("k1", {"rows": [1, 2]}, None)
+    store.add("k2", "result-2", {"counter": 3})
+
+    resumed = Checkpoint(path)
+    assert len(resumed) == 2
+    assert resumed.get("k1") == ({"rows": [1, 2]}, None)
+    assert resumed.get("k2") == ("result-2", {"counter": 3})
+    assert "k1" in resumed and "missing" not in resumed
+
+
+def test_flush_leaves_no_temp_droppings(tmp_path):
+    path = str(tmp_path / "ck.jsonl")
+    store = Checkpoint(path)
+    for i in range(5):
+        store.add(f"k{i}", i, None)
+    assert sorted(os.listdir(tmp_path)) == ["ck.jsonl"]
+
+
+def test_file_is_jsonl_with_format_header(tmp_path):
+    path = str(tmp_path / "ck.jsonl")
+    Checkpoint(path).add("k1", 42, None)
+    lines = open(path).read().splitlines()
+    assert json.loads(lines[0]) == {"format": FORMAT}
+    assert json.loads(lines[1])["key"] == "k1"
+
+
+def test_duplicate_add_is_a_no_op(tmp_path):
+    store = Checkpoint(str(tmp_path / "ck.jsonl"))
+    store.add("k1", "first", None)
+    store.add("k1", "second", None)
+    assert store.get("k1") == ("first", None)
+    assert len(Checkpoint(store.path)) == 1
+
+
+def test_load_skips_malformed_lines(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    store = Checkpoint(str(path))
+    store.add("good", "kept", None)
+    with open(path, "a") as handle:
+        handle.write("not json at all\n")
+        handle.write('{"key": "no-data-field"}\n')
+        handle.write('{"key": "bad-pickle", "data": "AAAA"}\n')
+        handle.write('{"key": "trunc', )  # a write cut off mid-record
+    resumed = Checkpoint(str(path))
+    assert len(resumed) == 1
+    assert resumed.get("good") == ("kept", None)
+
+
+def test_missing_file_loads_empty(tmp_path):
+    store = Checkpoint(str(tmp_path / "never-written.jsonl"))
+    assert len(store) == 0
+    # and nothing was created on disk by merely opening the store
+    assert not os.path.exists(store.path)

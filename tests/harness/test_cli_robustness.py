@@ -1,0 +1,94 @@
+"""CLI robustness: fault-tolerance flags, pre-flight validation, and
+readable exit-2 failures (never a traceback for predictable mistakes)."""
+
+import pytest
+
+from repro.harness import runner
+from repro.harness.cli import main
+from repro.harness.parallel import RETRIES_ENV
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches(tmp_path, monkeypatch):
+    monkeypatch.setattr(runner, "CACHE_DIR", str(tmp_path))
+    runner._FINAL_SPEC_MEMO.clear()
+    yield
+    runner._FINAL_SPEC_MEMO.clear()
+
+
+# ----------------------------------------------------------------------
+# the fault-tolerance flags, end to end
+# ----------------------------------------------------------------------
+def test_retries_and_fault_spec_flags(capsys):
+    code = main([
+        "table3", "--names", "hedc",
+        "--retries", "2", "--fault-spec", "transient:0.3",
+    ])
+    assert code == 0
+    assert "hedc" in capsys.readouterr().out
+
+
+def test_checkpoint_flag_resumes(tmp_path, capsys):
+    ck = str(tmp_path / "ck.jsonl")
+    assert main(["table3", "--names", "hedc", "--checkpoint", ck]) == 0
+    first = capsys.readouterr().out
+    assert main(["table3", "--names", "hedc", "--checkpoint", ck]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_cell_timeout_flag(capsys):
+    code = main(["table3", "--names", "hedc", "--cell-timeout", "300"])
+    assert code == 0
+
+
+# ----------------------------------------------------------------------
+# readable exit-2 failures
+# ----------------------------------------------------------------------
+def test_bad_fault_spec_exits_2(capsys):
+    code = main(["table3", "--names", "hedc", "--fault-spec", "meteor:0.5"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "error" in err and "meteor" in err
+    assert "Traceback" not in err
+
+
+def test_bad_retries_env_exits_2(monkeypatch, capsys):
+    monkeypatch.setenv(RETRIES_ENV, "several")
+    code = main(["table3", "--names", "hedc"])
+    assert code == 2
+    assert RETRIES_ENV in capsys.readouterr().err
+
+
+def test_out_under_a_file_exits_2(tmp_path, capsys):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("not a directory\n")
+    code = main([
+        "table3", "--names", "hedc", "--out", str(blocker / "results"),
+    ])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "--out" in err and "Traceback" not in err
+
+
+def test_out_path_is_a_file_exits_2(tmp_path, capsys):
+    blocker = tmp_path / "results"
+    blocker.write_text("already a file\n")
+    code = main(["table3", "--names", "hedc", "--out", str(blocker)])
+    assert code == 2
+    assert "--out" in capsys.readouterr().err
+
+
+def test_out_accepts_not_yet_existing_directory(tmp_path, capsys):
+    target = tmp_path / "a" / "b" / "results"
+    code = main(["table3", "--names", "hedc", "--out", str(target)])
+    assert code == 0
+    assert (target / "table3.txt").exists()
+
+
+def test_checkpoint_in_missing_directory_exits_2(tmp_path, capsys):
+    code = main([
+        "table3", "--names", "hedc",
+        "--checkpoint", str(tmp_path / "nowhere" / "ck.jsonl"),
+    ])
+    assert code == 2
+    assert "--checkpoint" in capsys.readouterr().err

@@ -1,0 +1,164 @@
+"""Deterministic fault injection: spec parsing, decisions, firing."""
+
+import pytest
+
+from repro.harness.faults import (
+    FAULT_SEED_ENV,
+    FAULT_SPEC_ENV,
+    FaultInjectionError,
+    FaultPlan,
+    FaultRule,
+    InjectedHang,
+    SimulatedCrash,
+    TransientCellError,
+    parse_fault_spec,
+    resolve_fault_plan,
+)
+
+
+# ----------------------------------------------------------------------
+# spec parsing
+# ----------------------------------------------------------------------
+def test_parse_single_clause():
+    plan = parse_fault_spec("crash:0.2")
+    assert plan.rules == (FaultRule("crash", 0.2),)
+    assert plan.seed == 0
+
+
+def test_parse_multiple_clauses_with_options():
+    plan = parse_fault_spec(
+        "crash:0.1, transient:0.3:limit=2, hang:0.05:seconds=1.5", seed=7
+    )
+    assert plan.seed == 7
+    assert plan.rules == (
+        FaultRule("crash", 0.1),
+        FaultRule("transient", 0.3, limit=2),
+        FaultRule("hang", 0.05, seconds=1.5),
+    )
+
+
+def test_parse_empty_spec_means_no_plan():
+    assert parse_fault_spec("") is None
+    assert parse_fault_spec("  ") is None
+    assert parse_fault_spec(" , ") is None
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "crash",                 # no probability
+        "meteor:0.5",            # unknown kind
+        "crash:lots",            # non-numeric probability
+        "crash:1.5",             # probability out of range
+        "crash:-0.1",            # probability out of range
+        "crash:0.2:limit=0",     # limit must be >= 1
+        "crash:0.2:limit=x",     # bad option value
+        "crash:0.2:color=red",   # unknown option
+        "crash:0.2:limit=",      # empty option value
+    ],
+)
+def test_parse_rejects_malformed_specs(spec):
+    with pytest.raises(FaultInjectionError):
+        parse_fault_spec(spec)
+
+
+def test_fault_injection_error_is_a_value_error():
+    # the CLI maps ValueError from pool construction to exit code 2
+    assert issubclass(FaultInjectionError, ValueError)
+
+
+# ----------------------------------------------------------------------
+# decisions
+# ----------------------------------------------------------------------
+def test_decide_is_deterministic_across_plan_instances():
+    a = parse_fault_spec("crash:0.5,transient:0.5", seed=3)
+    b = parse_fault_spec("crash:0.5,transient:0.5", seed=3)
+    keys = [f"cell-{i}#0" for i in range(200)]
+    decisions = [a.decide(k, 0) for k in keys]
+    assert decisions == [b.decide(k, 0) for k in keys]
+    # a 50% rule over 200 keys fires somewhere strictly between never
+    # and always; anything else means the draw is not uniform
+    fired = [d for d in decisions if d is not None]
+    assert 0 < len(fired) < len(keys)
+
+
+def test_decide_depends_on_seed():
+    keys = [f"cell-{i}#0" for i in range(200)]
+    a = [parse_fault_spec("crash:0.5", seed=0).decide(k, 0) for k in keys]
+    b = [parse_fault_spec("crash:0.5", seed=1).decide(k, 0) for k in keys]
+    assert a != b
+
+
+def test_probability_bounds():
+    always = FaultPlan((FaultRule("transient", 1.0),))
+    never = FaultPlan((FaultRule("transient", 0.0),))
+    for i in range(50):
+        assert always.decide(f"k{i}", 0) is not None
+        assert never.decide(f"k{i}", 0) is None
+
+
+def test_limit_caps_sabotaged_attempts():
+    plan = FaultPlan((FaultRule("transient", 1.0, limit=2),))
+    assert plan.decide("k", 0) is not None
+    assert plan.decide("k", 1) is not None
+    assert plan.decide("k", 2) is None  # retries past the limit run clean
+    assert plan.decide("k", 99) is None
+
+
+# ----------------------------------------------------------------------
+# firing
+# ----------------------------------------------------------------------
+def test_fire_inline_crash_raises_not_exits():
+    plan = FaultPlan((FaultRule("crash", 1.0),))
+    with pytest.raises(SimulatedCrash):
+        plan.fire("k", 0, in_worker=False)
+
+
+def test_fire_inline_hang_raises_without_sleeping():
+    plan = FaultPlan((FaultRule("hang", 1.0, seconds=3600.0),))
+    with pytest.raises(InjectedHang):
+        plan.fire("k", 0, in_worker=False)  # must return promptly
+
+
+def test_fire_transient_raises_everywhere():
+    plan = FaultPlan((FaultRule("transient", 1.0),))
+    with pytest.raises(TransientCellError):
+        plan.fire("k", 0, in_worker=False)
+    with pytest.raises(TransientCellError):
+        plan.fire("k", 0, in_worker=True)
+
+
+def test_fire_clean_cell_is_a_no_op():
+    plan = FaultPlan((FaultRule("crash", 0.0),))
+    plan.fire("k", 0, in_worker=False)
+    plan.fire("k", 0, in_worker=True)
+
+
+# ----------------------------------------------------------------------
+# environment fallback
+# ----------------------------------------------------------------------
+def test_resolve_prefers_explicit_spec(monkeypatch):
+    monkeypatch.setenv(FAULT_SPEC_ENV, "crash:0.9")
+    plan = resolve_fault_plan("transient:0.1", seed=2)
+    assert plan.rules == (FaultRule("transient", 0.1),)
+    assert plan.seed == 2
+
+
+def test_resolve_falls_back_to_environment(monkeypatch):
+    monkeypatch.setenv(FAULT_SPEC_ENV, "crash:0.9")
+    monkeypatch.setenv(FAULT_SEED_ENV, "5")
+    plan = resolve_fault_plan(None, None)
+    assert plan.rules == (FaultRule("crash", 0.9),)
+    assert plan.seed == 5
+
+
+def test_resolve_defaults_to_no_plan(monkeypatch):
+    monkeypatch.delenv(FAULT_SPEC_ENV, raising=False)
+    monkeypatch.delenv(FAULT_SEED_ENV, raising=False)
+    assert resolve_fault_plan(None, None) is None
+
+
+def test_resolve_rejects_garbage_seed_env(monkeypatch):
+    monkeypatch.setenv(FAULT_SEED_ENV, "soon")
+    with pytest.raises(FaultInjectionError):
+        resolve_fault_plan("crash:0.2", None)

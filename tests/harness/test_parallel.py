@@ -8,11 +8,24 @@ counters, Figure 7's normalized times.
 """
 
 import os
+import time
 
 import pytest
 
 from repro.harness import figure7, runner, table2, table3
-from repro.harness.parallel import CellPool, JOBS_ENV, ensure_pool, resolve_jobs
+from repro.harness.parallel import (
+    CELL_TIMEOUT_ENV,
+    CHECKPOINT_ENV,
+    CellPool,
+    JOBS_ENV,
+    RETRIES_ENV,
+    ensure_pool,
+    resolve_cell_timeout,
+    resolve_checkpoint,
+    resolve_jobs,
+    resolve_retries,
+)
+from repro.obs.registry import MODE_COUNTERS, MetricsRegistry, use_registry
 
 NAMES = ["hsqldb6", "xalan6"]
 
@@ -83,6 +96,112 @@ def test_ensure_pool_reuses_and_owns():
             assert inner is outer
     with ensure_pool(None, 1) as owned:
         assert owned.jobs == 1
+
+
+def test_resolve_retries_explicit_beats_env(monkeypatch):
+    monkeypatch.setenv(RETRIES_ENV, "5")
+    assert resolve_retries(2) == 2
+    assert resolve_retries(None) == 5
+    monkeypatch.delenv(RETRIES_ENV)
+    assert resolve_retries(None) == 0
+
+
+@pytest.mark.parametrize("value", ["-1", "soon"])
+def test_resolve_retries_rejects_garbage(monkeypatch, value):
+    monkeypatch.setenv(RETRIES_ENV, value)
+    with pytest.raises(ValueError):
+        resolve_retries(None)
+
+
+def test_resolve_cell_timeout(monkeypatch):
+    monkeypatch.setenv(CELL_TIMEOUT_ENV, "2.5")
+    assert resolve_cell_timeout(9.0) == 9.0
+    assert resolve_cell_timeout(None) == 2.5
+    monkeypatch.delenv(CELL_TIMEOUT_ENV)
+    assert resolve_cell_timeout(None) is None
+    with pytest.raises(ValueError):
+        resolve_cell_timeout(0.0)
+    monkeypatch.setenv(CELL_TIMEOUT_ENV, "later")
+    with pytest.raises(ValueError):
+        resolve_cell_timeout(None)
+
+
+def test_resolve_checkpoint(monkeypatch):
+    monkeypatch.setenv(CHECKPOINT_ENV, "/tmp/env.jsonl")
+    assert resolve_checkpoint("explicit.jsonl") == "explicit.jsonl"
+    assert resolve_checkpoint(None) == "/tmp/env.jsonl"
+    monkeypatch.delenv(CHECKPOINT_ENV)
+    assert resolve_checkpoint(None) is None
+
+
+def _interrupt(x):
+    raise KeyboardInterrupt
+
+
+def _exit(x):
+    raise SystemExit(3)
+
+
+def test_serial_pool_submit_reraises_keyboard_interrupt():
+    # a Ctrl-C during an inline cell must reach the user immediately,
+    # not sit parked in a Future until (if ever) .result() is called
+    pool = CellPool(1)
+    with pytest.raises(KeyboardInterrupt):
+        pool.submit(_interrupt, 1)
+    with pytest.raises(SystemExit):
+        pool.submit(_exit, 1)
+
+
+def _marker_or_boom(directory, index, delay):
+    if index == 0:
+        raise RuntimeError("boom")
+    time.sleep(delay)
+    with open(os.path.join(directory, f"cell-{index}"), "w") as handle:
+        handle.write("done")
+    return index
+
+
+def test_failed_starmap_cancels_and_drains_siblings(tmp_path):
+    # satellite fix: when one cell fails non-retryably, pending sibling
+    # futures are cancelled and running ones drained before the raise —
+    # no cell may still be executing (and writing) after starmap returns
+    with CellPool(2) as pool:
+        with pytest.raises(RuntimeError):
+            pool.starmap(
+                _marker_or_boom,
+                [(str(tmp_path), i, 0.3) for i in range(8)],
+            )
+        settled = len(os.listdir(tmp_path))
+        time.sleep(0.8)
+        assert len(os.listdir(tmp_path)) == settled
+
+
+def _obs_counting_cell(x):
+    from repro.obs.registry import recorder
+
+    recorder().inc("test.cell_runs")
+    if x < 0:
+        raise RuntimeError("boom")
+    return x
+
+
+def test_failed_batch_merges_no_telemetry():
+    # satellite fix: the telemetry merge is all-or-nothing — cells that
+    # completed before a sibling failed must not leak their snapshots
+    # into the caller's registry
+    registry = MetricsRegistry(MODE_COUNTERS)
+    previous = use_registry(registry)
+    try:
+        with CellPool(2) as pool:
+            assert pool.starmap(_obs_counting_cell, [(i,) for i in range(4)]) \
+                == [0, 1, 2, 3]
+            merged = registry.snapshot()["counters"]["test.cell_runs"]
+            assert merged == 4
+            with pytest.raises(RuntimeError):
+                pool.starmap(_obs_counting_cell, [(0,), (-1,), (2,)])
+            assert registry.snapshot()["counters"]["test.cell_runs"] == merged
+    finally:
+        use_registry(previous)
 
 
 # ----------------------------------------------------------------------

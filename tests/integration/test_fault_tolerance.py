@@ -1,0 +1,205 @@
+"""Fault-tolerance of the experiment harness, end to end.
+
+The contract under test (see ``docs/ROBUSTNESS.md``): cells are pure
+functions of their picklable arguments, so any recovered run — after
+injected worker crashes, hung cells, transient failures, or a
+``kill -9`` resumed from a checkpoint — renders output byte-identical
+to a fault-free serial run.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+import pytest
+
+from repro.harness import runner, table2
+from repro.harness.parallel import CellFailedError, CellPool
+from repro.obs.registry import MODE_COUNTERS, MetricsRegistry, use_registry
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches(tmp_path, monkeypatch):
+    monkeypatch.setattr(runner, "CACHE_DIR", str(tmp_path / "cache"))
+    runner._FINAL_SPEC_MEMO.clear()
+    yield
+    runner._FINAL_SPEC_MEMO.clear()
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry(MODE_COUNTERS)
+    previous = use_registry(registry)
+    yield registry
+    use_registry(previous)
+
+
+def _counters(registry):
+    return registry.snapshot()["counters"]
+
+
+def _triple(x):
+    return x * 3
+
+
+def _sleepy(x, delay):
+    time.sleep(delay)
+    return x
+
+
+def _marked(directory, x):
+    fd, _ = tempfile.mkstemp(dir=directory, prefix=f"ran-{x}-")
+    os.close(fd)
+    return x * 2
+
+
+# ----------------------------------------------------------------------
+# worker crashes
+# ----------------------------------------------------------------------
+def test_crash_injected_grid_renders_identical_to_serial(registry):
+    serial = table2.generate(["elevator"]).render()
+    with CellPool(
+        4, retries=2, fault_spec="crash:0.2", fault_seed=1, backoff=0.0
+    ) as pool:
+        faulty = table2.generate(["elevator"], pool=pool).render()
+    assert faulty == serial
+    counters = _counters(registry)
+    assert counters["harness.worker_crashes"] >= 1
+    assert counters["harness.pool_rebuilds"] >= 1
+    assert counters["harness.retries"] >= 1
+
+
+def test_crash_recovery_with_serial_pool(registry):
+    # inline cells simulate the crash with an exception; the parent
+    # process must survive and retry
+    with CellPool(
+        1, retries=2, fault_spec="crash:0.5", fault_seed=0, backoff=0.0
+    ) as pool:
+        assert pool.starmap(_triple, [(i,) for i in range(20)]) == [
+            i * 3 for i in range(20)
+        ]
+    assert _counters(registry)["harness.worker_crashes"] >= 1
+
+
+def test_exhausted_retries_fail_loudly(registry):
+    with CellPool(
+        1, retries=1, fault_spec="transient:1.0:limit=5", backoff=0.0
+    ) as pool:
+        with pytest.raises(CellFailedError):
+            pool.starmap(_triple, [(1,)])
+
+
+# ----------------------------------------------------------------------
+# hangs and timeouts
+# ----------------------------------------------------------------------
+def test_hung_cells_are_killed_and_retried(registry):
+    with CellPool(
+        2,
+        retries=2,
+        cell_timeout=1.0,
+        fault_spec="hang:1.0:seconds=30",
+        fault_seed=0,
+        backoff=0.0,
+    ) as pool:
+        start = time.monotonic()
+        assert pool.starmap(_sleepy, [(i, 0.01) for i in range(2)]) == [0, 1]
+        elapsed = time.monotonic() - start
+    # recovery waits out the 1s timeout per hung cell, never the 30s hang
+    assert elapsed < 15.0
+    counters = _counters(registry)
+    assert counters["harness.cell_timeouts"] >= 1
+    assert counters["harness.pool_rebuilds"] >= 1
+
+
+# ----------------------------------------------------------------------
+# graceful degradation
+# ----------------------------------------------------------------------
+def test_repeated_pool_failures_degrade_to_serial(registry):
+    with CellPool(
+        2,
+        retries=4,
+        fault_spec="crash:1.0:limit=3",
+        fault_seed=0,
+        backoff=0.0,
+        max_pool_failures=2,
+    ) as pool:
+        assert pool.starmap(_triple, [(i,) for i in range(3)]) == [0, 3, 6]
+        assert pool._degraded
+        assert pool._executor is None
+    assert _counters(registry)["harness.degraded_to_serial"] == 1
+
+
+# ----------------------------------------------------------------------
+# checkpoint / resume
+# ----------------------------------------------------------------------
+def test_checkpoint_resume_skips_completed_cells(tmp_path, registry):
+    markers = tmp_path / "markers"
+    markers.mkdir()
+    ck = str(tmp_path / "ck.jsonl")
+    with CellPool(1, checkpoint=ck) as pool:
+        first = pool.starmap(_marked, [(str(markers), i) for i in range(4)])
+    executed = len(os.listdir(markers))
+    assert executed == 4
+
+    with CellPool(1, checkpoint=ck) as pool:
+        second = pool.starmap(_marked, [(str(markers), i) for i in range(4)])
+    assert second == first == [0, 2, 4, 6]
+    # resumed cells are served from the checkpoint, never re-executed
+    assert len(os.listdir(markers)) == executed
+    assert _counters(registry)["harness.cells_resumed"] == 4
+
+
+def test_kill9_then_checkpoint_resume_renders_identical(tmp_path):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    env.pop("DOUBLECHECKER_FAULT_SPEC", None)
+    ck = tmp_path / "ck.jsonl"
+    out_resumed = tmp_path / "resumed"
+    out_clean = tmp_path / "clean"
+
+    def cli(*extra):
+        return [
+            sys.executable, "-m", "repro.harness.cli",
+            "table2", "--names", "hsqldb6", *extra,
+        ]
+
+    victim = subprocess.Popen(
+        cli("--checkpoint", str(ck), "--out", str(out_resumed)),
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    # let it complete a few cells, then kill it without any cleanup
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline and victim.poll() is None:
+        try:
+            with open(ck) as handle:
+                if sum(1 for _ in handle) >= 3:
+                    break
+        except OSError:
+            pass
+        time.sleep(0.02)
+    assert victim.poll() is None, "run finished before it could be killed"
+    os.kill(victim.pid, signal.SIGKILL)
+    victim.wait()
+    records_at_kill = sum(1 for _ in open(ck))
+    assert records_at_kill >= 3  # header + completed cells survived
+
+    resumed = subprocess.run(
+        cli("--checkpoint", str(ck), "--out", str(out_resumed)),
+        env=env, capture_output=True, text=True,
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    clean = subprocess.run(
+        cli("--out", str(out_clean)),
+        env=env, capture_output=True, text=True,
+    )
+    assert clean.returncode == 0, clean.stderr
+
+    with open(out_resumed / "table2.txt") as handle:
+        resumed_table = handle.read()
+    with open(out_clean / "table2.txt") as handle:
+        clean_table = handle.read()
+    assert resumed_table == clean_table
