@@ -56,6 +56,10 @@ class TransactionCollector:
     def __init__(self, manager: TransactionManager) -> None:
         self._manager = manager
         self.stats = GcStats()
+        #: log entries swept by the most recent :meth:`collect` — lets
+        #: clients that count appends incrementally (ICD) subtract the
+        #: swept entries instead of re-summing every live log
+        self.last_swept_log_entries = 0
 
     # ------------------------------------------------------------------
     def collect(self, pinned: Iterable[Transaction] = ()) -> int:
@@ -111,6 +115,7 @@ class TransactionCollector:
         self.stats.collections += 1
         self.stats.transactions_collected += swept
         self.stats.log_entries_collected += log_entries
+        self.last_swept_log_entries = log_entries
         return swept
 
     @staticmethod
@@ -140,10 +145,18 @@ class TransactionCollector:
             len(tx.log) for tx in self._manager.all_transactions if tx.log is not None
         )
 
-    def note_peak(self) -> None:
-        """Record peak footprint (harness calls this periodically)."""
+    def note_peak(self, live_log_entries: int | None = None) -> None:
+        """Record peak footprint (harness calls this periodically).
+
+        ``live_log_entries`` lets a caller that already tracks the live
+        entry count incrementally (ICD bumps a counter per append and
+        subtracts :attr:`last_swept_log_entries` per collection) skip
+        the O(live transactions) :meth:`live_log_entries` re-scan.
+        """
         txs = self.live_transaction_count()
-        logs = self.live_log_entries()
+        logs = (
+            self.live_log_entries() if live_log_entries is None else live_log_entries
+        )
         self.stats.peak_live_transactions = max(
             self.stats.peak_live_transactions, txs
         )

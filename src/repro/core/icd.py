@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.gc import TransactionCollector
-from repro.core.rwlog import ElisionFilter, ReadWriteLog
+from repro.core.rwlog import AccessEntry, ElisionFilter, ReadWriteLog
 from repro.core.scc import is_cyclic_component, scc_containing_counted
 from repro.core.transactions import IdgEdge, Transaction, TransactionManager
 from repro.graph.dirty import DirtySccScheduler
@@ -38,7 +38,8 @@ from repro.graph.engine import GraphEngineStats
 from repro.obs.registry import publish_stats, recorder as obs_recorder
 from repro.errors import OutOfMemoryBudget
 from repro.octet.runtime import OctetListener, OctetRuntime, TransitionRecord
-from repro.runtime.events import AccessEvent
+from repro.octet.states import StateKind
+from repro.runtime.events import AccessEvent, AccessKind, Site
 from repro.runtime.listeners import ExecutionListener
 from repro.runtime.view import NullView, RuntimeView
 from repro.spec.specification import AtomicitySpecification
@@ -196,6 +197,13 @@ class ICD(ExecutionListener, OctetListener):
         self._g_last_rdsh: Optional[Transaction] = None
 
         self._elision = ElisionFilter()
+        # Interning tables for the logging hot path: one shared
+        # ``(oid, fieldname)`` tuple per field (every AccessEntry and
+        # elision probe for that field reuses it) and one shared site
+        # string per static site (``str(event.site)`` would otherwise
+        # build a fresh string per logged access).
+        self._addr_intern: Dict[Tuple[int, str], Tuple[int, str]] = {}
+        self._site_intern: Dict[Site, str] = {}
         self._edge_order = 0
         #: the transaction of the access currently in the barrier
         self._req_tx: Optional[Transaction] = None
@@ -240,6 +248,110 @@ class ICD(ExecutionListener, OctetListener):
         finally:
             self._req_tx = None
             self._req_event = None
+
+    def access_barrier(self) -> Callable[[AccessEvent], None]:
+        """Build the fused per-access barrier (ICD + Octet in one call).
+
+        The returned closure is what the executor's monomorphic
+        single-listener dispatch invokes per access.  Its fast path —
+        the access hits an object whose Octet state is already
+        compatible (WrEx/RdEx owned by the accessing thread, or RdSh
+        read with a current ``rdShCnt``) — costs one dict probe and one
+        branch chain: no :meth:`OctetRuntime.observe` call, no
+        ``Classified``/:class:`TransitionRecord` allocation, no listener
+        fan-out (same-state transitions never fire Figure 4 procedures).
+        Everything else falls back to the reference :meth:`on_access`
+        slow path, so outputs are byte-identical by construction; the
+        identity tests additionally pin the fused pipeline against runs
+        with ``DOUBLECHECKER_BARRIER_FASTPATH=0``.
+
+        Configurations whose per-access work the fused path does not
+        replicate (unary site tracking, object-granularity arrays, or
+        the fast path disabled) simply get ``self.on_access``.
+        """
+        if (
+            not self.octet.fastpath
+            or self.track_unary_sites
+            or self.array_granularity_object
+        ):
+            return self.on_access
+
+        octet = self.octet
+        states = octet._states
+        thread_rdsh = octet._thread_rdsh
+        tx_for_access = self.tx_manager.transaction_for_access
+        stats = self.stats
+        elision = self._elision
+        addr_intern = self._addr_intern
+        site_intern = self._site_intern
+        instrument_arrays = self.instrument_arrays
+        logging_enabled = self.logging_enabled
+        elide_duplicates = self.elide_duplicates
+        slow_path = self.on_access
+        check_budget = self.memory_budget is not None
+
+        def fused_access(
+            event: AccessEvent,
+            *,
+            _READ: AccessKind = AccessKind.READ,
+            _WR_EX: StateKind = StateKind.WR_EX,
+            _RD_EX: StateKind = StateKind.RD_EX,
+            _RD_SH: StateKind = StateKind.RD_SH,
+        ) -> None:
+            if event.is_array and not instrument_arrays:
+                stats.array_accesses_skipped += 1
+                return
+            oid = event.obj.oid
+            thread = event.thread_name
+            state = states.get(oid)
+            if state is not None:
+                kind = state.kind
+                if (
+                    state.owner == thread
+                    and (
+                        kind is _WR_EX
+                        or (kind is _RD_EX and event.kind is _READ)
+                    )
+                ) or (
+                    kind is _RD_SH
+                    and event.kind is _READ
+                    and thread_rdsh.get(thread, 0) >= state.counter
+                ):
+                    tx = tx_for_access(event)
+                    if tx is None:
+                        return  # not instrumented in this configuration
+                    stats.instrumented_accesses += 1
+                    octet._barriers_pending += 1
+                    octet._fastpath_pending += 1
+                    octet._fused_pending += 1
+                    if logging_enabled:
+                        log = tx.log
+                        if log is None:
+                            log = tx.log = ReadWriteLog()
+                        address = (oid, event.fieldname)
+                        address = addr_intern.setdefault(address, address)
+                        if elide_duplicates and not elision.should_log_addr(
+                            thread, address, event.kind
+                        ):
+                            return
+                        site = event.site
+                        site_str = site_intern.get(site)
+                        if site_str is None:
+                            site_str = site_intern[site] = str(site)
+                        log.entries.append(
+                            AccessEntry(
+                                event.kind, oid, event.fieldname,
+                                event.seq, site_str, address,
+                            )
+                        )
+                        stats.log_entries += 1
+                        self._live_log_entries += 1
+                        if check_budget:
+                            self._check_budget()
+                    return
+            slow_path(event)
+
+        return fused_access
 
     def on_execution_end(self) -> None:
         self.tx_manager.finish_all()
@@ -364,19 +476,37 @@ class ICD(ExecutionListener, OctetListener):
     # logging
     # ------------------------------------------------------------------
     def _log_access(self, tx: Transaction, event: AccessEvent) -> None:
-        if tx.log is None:
-            tx.log = ReadWriteLog()
-        oid, fieldname = (
-            event.object_address
-            if (event.is_array and self.array_granularity_object)
-            else event.address
-        )
-        if self.elide_duplicates and not self._elision.should_log(
-            event.thread_name, oid, fieldname, event.kind
+        """Log one access — single pass over the hot-path bookkeeping.
+
+        The address tuple is built once and interned (the elision probe,
+        the :class:`AccessEntry`, and every later access to the same
+        field share one tuple), the site string is interned per static
+        site, and the entry count is folded into the append instead of
+        a separate :meth:`_count_log_entry` call.
+        """
+        log = tx.log
+        if log is None:
+            log = tx.log = ReadWriteLog()
+        if event.is_array and self.array_granularity_object:
+            address = event.object_address
+        else:
+            address = (event.obj.oid, event.fieldname)
+        address = self._addr_intern.setdefault(address, address)
+        if self.elide_duplicates and not self._elision.should_log_addr(
+            event.thread_name, address, event.kind
         ):
             return
-        tx.log.append_access(event.kind, oid, fieldname, event.seq, str(event.site))
-        self._count_log_entry(is_mark=False)
+        site = event.site
+        site_str = self._site_intern.get(site)
+        if site_str is None:
+            site_str = self._site_intern[site] = str(site)
+        log.entries.append(
+            AccessEntry(event.kind, address[0], address[1], event.seq, site_str, address)
+        )
+        self.stats.log_entries += 1
+        self._live_log_entries += 1
+        if self.memory_budget is not None:
+            self._check_budget()
 
     def _count_log_entry(self, is_mark: bool) -> None:
         if is_mark:
@@ -453,7 +583,12 @@ class ICD(ExecutionListener, OctetListener):
             self._check_budget()
             return
         self._tx_ends_since_gc = 0
-        self.collector.note_peak()
+        # _live_log_entries is maintained incrementally (+1 per logged
+        # access/mark, minus what each collection sweeps), so neither
+        # the peak sample nor the post-collect refresh needs the
+        # collector's O(live transactions) log re-scan — profiling
+        # showed those scans dominating instrumented single-run time
+        self.collector.note_peak(self._live_log_entries)
         roots: List[Transaction] = list(self._last_rdex.values())
         if self._g_last_rdsh is not None:
             roots.append(self._g_last_rdsh)
@@ -465,7 +600,7 @@ class ICD(ExecutionListener, OctetListener):
             self.scheduler.forget(
                 tx.tx_id for tx in population if tx.collected
             )
-        self._live_log_entries = self.collector.live_log_entries()
+        self._live_log_entries -= self.collector.last_swept_log_entries
         if not self.logging_enabled:
             live_ids = {t.tx_id for t in self.tx_manager.all_transactions}
             self._seen_edges = {

@@ -39,20 +39,27 @@ class AccessEntry:
     order (see :mod:`repro.core.pcd` for the discussion).
     """
 
-    __slots__ = ("kind", "oid", "fieldname", "seq", "site")
+    __slots__ = ("kind", "oid", "fieldname", "seq", "site", "address")
 
     def __init__(
-        self, kind: AccessKind, oid: int, fieldname: str, seq: int, site: str
+        self,
+        kind: AccessKind,
+        oid: int,
+        fieldname: str,
+        seq: int,
+        site: str,
+        address: Optional[Tuple[int, str]] = None,
     ) -> None:
         self.kind = kind
         self.oid = oid
         self.fieldname = fieldname
         self.seq = seq
         self.site = site
-
-    @property
-    def address(self) -> Tuple[int, str]:
-        return (self.oid, self.fieldname)
+        # precomputed once (formerly a property allocating a fresh
+        # tuple per call — PCD reads it for every replayed entry); ICD
+        # passes its interned (oid, fieldname) tuple so all entries for
+        # one field share a single address object
+        self.address = (oid, fieldname) if address is None else address
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         letter = "R" if self.kind is AccessKind.READ else "W"
@@ -83,10 +90,16 @@ class ReadWriteLog:
         self.entries: List[object] = []
 
     def append_access(
-        self, kind: AccessKind, oid: int, fieldname: str, seq: int, site: str
+        self,
+        kind: AccessKind,
+        oid: int,
+        fieldname: str,
+        seq: int,
+        site: str,
+        address: Optional[Tuple[int, str]] = None,
     ) -> int:
         """Append an access entry; returns its index."""
-        self.entries.append(AccessEntry(kind, oid, fieldname, seq, site))
+        self.entries.append(AccessEntry(kind, oid, fieldname, seq, site, address))
         return len(self.entries) - 1
 
     def append_mark(self, edge_order: int, is_source: bool, seq: int) -> int:
@@ -110,12 +123,19 @@ class ElisionStats:
 
 
 class ElisionFilter:
-    """Implements the per-field, per-thread timestamp elision scheme."""
+    """Implements the per-field, per-thread timestamp elision scheme.
+
+    The last-access table is a per-thread dict keyed by the field
+    address, so the hot check (:meth:`should_log_addr`) is two dict
+    probes on an interned address — no per-access key-tuple allocation.
+    """
 
     def __init__(self) -> None:
         self._thread_ts: Dict[str, int] = {}
-        #: (oid, field, thread) -> (timestamp, kind of last logged access)
-        self._last: Dict[Tuple[int, str, str], Tuple[int, AccessKind]] = {}
+        #: thread -> {(oid, field) -> (timestamp, kind of last logged access)}
+        self._last_by_thread: Dict[
+            str, Dict[Tuple[int, str], Tuple[int, AccessKind]]
+        ] = {}
         self.stats = ElisionStats()
 
     def bump(self, thread: str) -> None:
@@ -131,9 +151,17 @@ class ElisionFilter:
         new access is a read (a read adds no ordering information beyond
         the write that precedes it in the same edge-free window).
         """
+        return self.should_log_addr(thread, (oid, fieldname), kind)
+
+    def should_log_addr(
+        self, thread: str, address: Tuple[int, str], kind: AccessKind
+    ) -> bool:
+        """:meth:`should_log` on a prebuilt (interned) field address."""
+        per_thread = self._last_by_thread.get(thread)
+        if per_thread is None:
+            per_thread = self._last_by_thread[thread] = {}
         ts = self._thread_ts.get(thread, 0)
-        key = (oid, fieldname, thread)
-        last = self._last.get(key)
+        last = per_thread.get(address)
         if last is not None:
             last_ts, last_kind = last
             if last_ts == ts and (
@@ -141,6 +169,6 @@ class ElisionFilter:
             ):
                 self.stats.elided += 1
                 return False
-        self._last[key] = (ts, kind)
+        per_thread[address] = (ts, kind)
         self.stats.logged += 1
         return True

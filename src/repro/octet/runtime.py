@@ -14,6 +14,7 @@ independently published mechanism that ICD extends.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -23,6 +24,18 @@ from repro.octet.states import OctetState, StateKind, rd_ex_int, wr_ex_int
 from repro.octet.transitions import Classified, TransitionKind, classify
 from repro.runtime.events import AccessEvent, AccessKind
 
+#: escape hatch disabling the inline same-state fast path (and ICD's
+#: fused barrier): the identity tests run with it set to ``0`` to pin
+#: the optimized pipeline against the reference classify-everything one
+FASTPATH_ENV = "DOUBLECHECKER_BARRIER_FASTPATH"
+
+
+def barrier_fastpath_enabled() -> bool:
+    """Whether the barrier fast path is enabled (default: yes)."""
+    return os.environ.get(FASTPATH_ENV, "").strip().lower() not in (
+        "0", "false", "off",
+    )
+
 
 @dataclass
 class OctetStats:
@@ -30,6 +43,10 @@ class OctetStats:
 
     barriers: int = 0
     fast_path: int = 0
+    #: subset of ``fast_path`` resolved inline by ICD's fused barrier
+    #: (no :meth:`OctetRuntime.observe` call at all); 0 when the fast
+    #: path is disabled via ``DOUBLECHECKER_BARRIER_FASTPATH=0``
+    fast_path_fused: int = 0
     initial: int = 0
     upgrading_wr_ex: int = 0
     upgrading_rd_sh: int = 0
@@ -108,6 +125,7 @@ class OctetRuntime:
         self,
         is_thread_blocked: Callable[[str], bool] | None = None,
         live_threads: Callable[[], List[str]] | None = None,
+        fastpath: Optional[bool] = None,
     ) -> None:
         self._states: Dict[int, OctetState] = {}
         self._thread_rdsh: Dict[str, int] = {}
@@ -115,9 +133,44 @@ class OctetRuntime:
         self.protocol = CoordinationProtocol(is_thread_blocked)
         self._live_threads = live_threads or (lambda: [])
         self.listeners: List[OctetListener] = []
-        self.stats = OctetStats()
+        #: take the inline same-state shortcut in :meth:`observe`
+        #: (``None`` = consult ``DOUBLECHECKER_BARRIER_FASTPATH``)
+        self.fastpath = barrier_fastpath_enabled() if fastpath is None else fastpath
+        self._stats = OctetStats()
+        # Hot-counter batching: the two counters every barrier bumps
+        # live in plain attributes and are folded into ``_stats`` only
+        # when someone reads ``stats`` (or calls ``flush_hot_counters``)
+        # — the per-access telemetry cost stays one attribute store.
+        self._barriers_pending = 0
+        self._fastpath_pending = 0
+        self._fused_pending = 0
         #: transient record of intermediate states entered, for tests
         self.intermediate_entries = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> OctetStats:
+        """Barrier counters; reading flushes the batched hot counters."""
+        if self._barriers_pending or self._fastpath_pending or self._fused_pending:
+            self.flush_hot_counters()
+        return self._stats
+
+    @stats.setter
+    def stats(self, value: OctetStats) -> None:
+        self._stats = value
+        self._barriers_pending = 0
+        self._fastpath_pending = 0
+        self._fused_pending = 0
+
+    def flush_hot_counters(self) -> None:
+        """Fold the batched barrier/fast-path counts into the stats."""
+        stats = self._stats
+        stats.barriers += self._barriers_pending
+        stats.fast_path += self._fastpath_pending
+        stats.fast_path_fused += self._fused_pending
+        self._barriers_pending = 0
+        self._fastpath_pending = 0
+        self._fused_pending = 0
 
     # ------------------------------------------------------------------
     def add_listener(self, listener: OctetListener) -> None:
@@ -137,11 +190,38 @@ class OctetRuntime:
 
         The client must call this *before* the access logically takes
         effect (it is the read/write barrier).
+
+        The common case — a same-state access, i.e. the paper's
+        unsynchronized fast path — is detected inline without calling
+        :func:`classify` (no :class:`Classified` allocation, no
+        ``_commit``/``_notify`` dispatch; listeners never consume
+        same-state records).  ``DOUBLECHECKER_BARRIER_FASTPATH=0``
+        routes every access through the reference classify path, which
+        must stay observably identical (pinned by the identity tests).
         """
-        self.stats.barriers += 1
         oid = event.obj.oid
         thread = event.thread_name
         old_state = self._states.get(oid)
+        if old_state is not None and self.fastpath:
+            kind = old_state.kind
+            if (
+                old_state.owner == thread
+                and (
+                    kind is StateKind.WR_EX
+                    or (kind is StateKind.RD_EX and event.kind is AccessKind.READ)
+                )
+            ) or (
+                kind is StateKind.RD_SH
+                and event.kind is AccessKind.READ
+                and self._thread_rdsh.get(thread, 0) >= old_state.counter
+            ):
+                self._barriers_pending += 1
+                self._fastpath_pending += 1
+                return TransitionRecord(
+                    event, TransitionKind.SAME_STATE, old_state, old_state,
+                    None, None,
+                )
+        self._barriers_pending += 1
         classified = classify(
             old_state,
             event.kind,
@@ -163,21 +243,22 @@ class OctetRuntime:
         classified: Classified,
     ) -> TransitionRecord:
         kind = classified.kind
+        stats = self._stats
 
         if kind is TransitionKind.SAME_STATE:
-            self.stats.fast_path += 1
+            stats.fast_path += 1
             return TransitionRecord(event, kind, old_state, old_state, None, None)
 
         if kind is TransitionKind.INITIAL:
-            self.stats.initial += 1
+            stats.initial += 1
             self._states[oid] = classified.new_state
             return TransitionRecord(
                 event, kind, None, classified.new_state, None, None
             )
 
         if kind is TransitionKind.UPGRADING_WR_EX:
-            self.stats.upgrading_wr_ex += 1
-            self.stats.atomic_operations += 1
+            stats.upgrading_wr_ex += 1
+            stats.atomic_operations += 1
             self._states[oid] = classified.new_state
             return TransitionRecord(
                 event, kind, old_state, classified.new_state,
@@ -185,10 +266,10 @@ class OctetRuntime:
             )
 
         if kind is TransitionKind.UPGRADING_RD_SH:
-            self.stats.upgrading_rd_sh += 1
+            stats.upgrading_rd_sh += 1
             # gRdShCnt is incremented atomically, globally ordering all
             # transitions to RdSh (Section 3.2.1)
-            self.stats.atomic_operations += 1
+            stats.atomic_operations += 1
             self.g_rdsh_counter += 1
             new_state = classified.new_state
             assert new_state is not None and new_state.counter == self.g_rdsh_counter
@@ -203,21 +284,21 @@ class OctetRuntime:
             )
 
         if kind is TransitionKind.FENCE:
-            self.stats.fences += 1
-            self.stats.memory_fences_issued += 1
+            stats.fences += 1
+            stats.memory_fences_issued += 1
             assert classified.thread_counter_update is not None
             self._thread_rdsh[thread] = classified.thread_counter_update
             return TransitionRecord(event, kind, old_state, old_state, None, None)
 
         # conflicting transitions
         assert kind.is_conflicting()
-        self.stats.conflicting += 1
-        self.stats.conflicting_by_kind[kind.value] = (
-            self.stats.conflicting_by_kind.get(kind.value, 0) + 1
+        stats.conflicting += 1
+        stats.conflicting_by_kind[kind.value] = (
+            stats.conflicting_by_kind.get(kind.value, 0) + 1
         )
         # enter the intermediate state: one atomic operation claims the
         # object for the requester
-        self.stats.atomic_operations += 1
+        stats.atomic_operations += 1
         self.intermediate_entries += 1
         intermediate = (
             rd_ex_int(thread)
@@ -235,7 +316,7 @@ class OctetRuntime:
             prior_owner = old_state.owner
         coordination = self.protocol.coordinate(thread, responders)
         # implicit responses set a flag atomically
-        self.stats.atomic_operations += coordination.implicit_count
+        stats.atomic_operations += coordination.implicit_count
 
         self._states[oid] = classified.new_state
         return TransitionRecord(

@@ -78,6 +78,38 @@ class Classified:
         return self.new_state is not None
 
 
+def is_same_state(
+    state: Optional[OctetState],
+    access: AccessKind,
+    thread: str,
+    thread_rdsh_counter: int,
+) -> bool:
+    """The barrier fast-path predicate: is this access a same-state one?
+
+    True exactly when :func:`classify` would return
+    ``TransitionKind.SAME_STATE``: the thread owns a WrEx object (read
+    or write), the thread owns a RdEx object and reads, or the object
+    is RdSh, the access is a read, and the thread's ``rdShCnt`` is
+    current.  ``OctetRuntime.observe`` and ICD's fused access barrier
+    inline this check (duplicated for speed); the property tests pin
+    all three against :func:`classify`.
+    """
+    if state is None:
+        return False
+    kind = state.kind
+    if state.owner == thread and (
+        kind is StateKind.WR_EX
+        or (kind is StateKind.RD_EX and access is AccessKind.READ)
+    ):
+        return True
+    return (
+        kind is StateKind.RD_SH
+        and access is AccessKind.READ
+        and state.counter is not None
+        and thread_rdsh_counter >= state.counter
+    )
+
+
 def classify(
     state: Optional[OctetState],
     access: AccessKind,

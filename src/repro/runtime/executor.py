@@ -162,7 +162,10 @@ class Executor:
     def _run_loop(self, tracked: bool = False) -> ExecutionResult:
         self.scheduler.reset()
         # rebind the access fast path in case listeners were attached
-        # to the pipeline after construction
+        # to the pipeline after construction; with a single listener the
+        # pipeline hands back that listener's fused access barrier
+        # (ICD + Octet as one call), so ``_emit_access`` dispatches the
+        # whole instrumentation stack through one callable
         self._on_access = self.pipeline.on_access
         choose = self.scheduler.choose
         if tracked:

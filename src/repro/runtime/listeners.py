@@ -9,7 +9,7 @@ demarcation.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Callable, Iterable, List
 
 from repro.runtime.events import AccessEvent
 
@@ -32,6 +32,17 @@ class ExecutionListener:
     def on_access(self, event: AccessEvent) -> None:
         """Barrier: invoked immediately before the access takes effect."""
 
+    def access_barrier(self) -> Callable[[AccessEvent], None]:
+        """The callable the executor dispatches per access.
+
+        Defaults to the listener's bound :meth:`on_access`.  A listener
+        that fuses several per-access steps into one specialized
+        closure (ICD fuses the Octet state check with its logging)
+        overrides this to return that closure; the pipeline calls it
+        whenever it rebinds its dispatch.
+        """
+        return self.on_access
+
     def on_execution_end(self) -> None:
         """The whole program finished; flush any pending analysis work."""
 
@@ -49,10 +60,12 @@ class ListenerPipeline(ExecutionListener):
 
     ``on_access`` is the hot path — it fires once per dynamic access —
     so the pipeline pre-binds it per instance: with zero listeners it
-    is a no-op, with exactly one listener it is that listener's bound
-    ``on_access`` (no loop, no indirection), and only with two or more
-    does it fan out.  :meth:`add` rebinds, so the fast path stays
-    correct if listeners are attached after construction.
+    is a no-op, with exactly one listener it is that listener's *fused*
+    access barrier (:meth:`ExecutionListener.access_barrier` — no loop,
+    no indirection, and for ICD no two-stage Octet+logging dispatch),
+    and only with two or more does it fan out over each listener's
+    barrier.  :meth:`add` rebinds, so the fast path stays correct if
+    listeners are attached after construction.
     """
 
     def __init__(self, listeners: Iterable[ExecutionListener] = ()) -> None:
@@ -68,8 +81,11 @@ class ListenerPipeline(ExecutionListener):
         if not self.listeners:
             self.on_access = _discard_access  # type: ignore[method-assign]
         elif len(self.listeners) == 1:
-            self.on_access = self.listeners[0].on_access  # type: ignore[method-assign]
+            self.on_access = self.listeners[0].access_barrier()  # type: ignore[method-assign]
         else:
+            self._access_barriers = [
+                listener.access_barrier() for listener in self.listeners
+            ]
             self.on_access = self._fan_out_access  # type: ignore[method-assign]
 
     def on_thread_start(self, thread_name: str) -> None:
@@ -91,11 +107,12 @@ class ListenerPipeline(ExecutionListener):
     def on_access(self, event: AccessEvent) -> None:  # pragma: no cover
         # overridden per instance by _rebind_access; kept for the
         # ExecutionListener interface contract
-        self._fan_out_access(event)
-
-    def _fan_out_access(self, event: AccessEvent) -> None:
         for listener in self.listeners:
             listener.on_access(event)
+
+    def _fan_out_access(self, event: AccessEvent) -> None:
+        for barrier in self._access_barriers:
+            barrier(event)
 
     def on_execution_end(self) -> None:
         for listener in self.listeners:

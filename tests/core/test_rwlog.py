@@ -31,6 +31,22 @@ class TestReadWriteLog:
         entry = AccessEntry(R, 3, "g", 5, "m@0")
         assert entry.address == (3, "g")
 
+    def test_entry_address_precomputed_not_a_property(self):
+        """The address is stored at construction (one tuple per entry,
+        or zero when the caller passes an interned one) — PCD reads it
+        for every replayed entry."""
+        interned = (3, "g")
+        entry = AccessEntry(R, 3, "g", 5, "m@0", interned)
+        assert entry.address is interned
+        # same instance every read; a property allocated a fresh tuple
+        assert entry.address is entry.address
+
+    def test_append_access_passes_interned_address_through(self):
+        log = ReadWriteLog()
+        interned = (1, "f")
+        log.append_access(R, 1, "f", 10, "m@0", interned)
+        assert log.entries[0].address is interned
+
 
 class TestElision:
     def test_duplicate_read_elided(self):
@@ -82,3 +98,24 @@ class TestElision:
         f.should_log("T", 1, "f", W)
         assert f.stats.logged == 2
         assert f.stats.elided == 1
+
+    def test_should_log_addr_is_should_log_on_a_prebuilt_address(self):
+        """The hot-path entry point: same decisions, same stats."""
+        by_key = ElisionFilter()
+        by_addr = ElisionFilter()
+        accesses = [
+            ("T1", 1, "f", R), ("T1", 1, "f", R), ("T1", 1, "f", W),
+            ("T2", 1, "f", W), ("T2", 1, "f", R), ("T1", 2, "g", R),
+        ]
+        for thread, oid, fieldname, kind in accesses:
+            expected = by_key.should_log(thread, oid, fieldname, kind)
+            got = by_addr.should_log_addr(thread, (oid, fieldname), kind)
+            assert got == expected
+        by_addr.bump("T1")
+        by_key.bump("T1")
+        assert by_addr.should_log_addr("T1", (1, "f"), R) == by_key.should_log(
+            "T1", 1, "f", R
+        )
+        assert (by_addr.stats.logged, by_addr.stats.elided) == (
+            by_key.stats.logged, by_key.stats.elided
+        )

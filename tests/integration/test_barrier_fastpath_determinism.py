@@ -1,0 +1,272 @@
+"""The fused barrier fast path is a pure optimization.
+
+``DOUBLECHECKER_BARRIER_FASTPATH=0`` routes every access through the
+reference pipeline — ``classify`` for every barrier, the two-stage
+ICD+Octet dispatch — while the default fuses same-state detection,
+counter batching, and logging into one closure.  Everything observable
+must be identical between the two arms:
+
+* the stream of transition records delivered to Octet listeners
+  (same-state transitions never notify, in either arm);
+* the IDG (edge endpoints, kinds, and creation order);
+* every transaction's read/write log, entry for entry;
+* the barrier/fast-path counters and the reported violations;
+* end-to-end: Table 2, Table 3, and Figure 7 outputs, byte for byte
+  (Figure 7 modulo its measured wall-clock columns, which are not
+  deterministic between any two runs).
+
+The inline fast-path predicate is duplicated in ``OctetRuntime.observe``
+and ICD's fused barrier for speed; a property test pins both (via
+``is_same_state``) against ``classify``.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.icd import ICD
+from repro.core.pcd import PCD
+from repro.core.reports import ViolationSummary
+from repro.core.rwlog import AccessEntry
+from repro.harness import runner, table2, table3
+from repro.octet.runtime import FASTPATH_ENV, OctetListener
+from repro.octet.states import rd_ex, rd_sh, wr_ex
+from repro.octet.transitions import TransitionKind, classify, is_same_state
+from repro.runtime.events import AccessKind
+from repro.runtime.executor import Executor
+from repro.runtime.scheduler import RandomScheduler
+from repro.spec.specification import AtomicitySpecification
+
+from tests.integration.test_soundness_properties import (
+    materialize,
+    program_strategy,
+)
+
+
+# ----------------------------------------------------------------------
+# the fast-path predicate vs Table 1
+# ----------------------------------------------------------------------
+state_strategy = st.one_of(
+    st.none(),
+    st.builds(wr_ex, st.sampled_from(["T0", "T1", "T2"])),
+    st.builds(rd_ex, st.sampled_from(["T0", "T1", "T2"])),
+    st.builds(rd_sh, st.integers(1, 5)),
+)
+
+
+@given(
+    state_strategy,
+    st.sampled_from([AccessKind.READ, AccessKind.WRITE]),
+    st.sampled_from(["T0", "T1", "T2"]),
+    st.integers(0, 5),
+)
+@settings(max_examples=300, deadline=None)
+def test_is_same_state_matches_classify(state, access, thread, rdsh_counter):
+    classified = classify(state, access, thread, rdsh_counter, 99)
+    assert is_same_state(state, access, thread, rdsh_counter) == (
+        classified.kind is TransitionKind.SAME_STATE
+    )
+
+
+# ----------------------------------------------------------------------
+# random schedules: every observable identical across the two arms
+# ----------------------------------------------------------------------
+class TransitionLog(OctetListener):
+    """Records every listener-visible transition, fully serialized."""
+
+    def __init__(self):
+        self.records = []
+
+    def _add(self, hook, record):
+        event = record.event
+        self.records.append(
+            (
+                hook,
+                record.kind.value,
+                event.seq,
+                event.obj.oid,
+                event.fieldname,
+                event.thread_name,
+                repr(record.old_state),
+                repr(record.new_state),
+                record.prior_owner,
+                record.rdsh_counter,
+            )
+        )
+
+    def on_conflicting(self, record):
+        self._add("conflicting", record)
+
+    def on_upgrading_rd_sh(self, record):
+        self._add("upgrading_rd_sh", record)
+
+    def on_upgrading_wr_ex(self, record):
+        self._add("upgrading_wr_ex", record)
+
+    def on_fence(self, record):
+        self._add("fence", record)
+
+    def on_initial(self, record):
+        self._add("initial", record)
+
+
+def _dump_logs(icd):
+    out = {}
+    for tx in icd.tx_manager.all_transactions:
+        if tx.log is None:
+            continue
+        entries = []
+        for entry in tx.log.entries:
+            if isinstance(entry, AccessEntry):
+                entries.append(
+                    ("a", entry.kind.value, entry.oid, entry.fieldname,
+                     entry.seq, entry.site)
+                )
+            else:
+                entries.append(
+                    ("m", entry.edge_order, entry.is_source, entry.seq)
+                )
+        out[tx.tx_id] = entries
+    return out
+
+
+def _dump_edges(icd):
+    return sorted(
+        (edge.src.tx_id, edge.dst.tx_id, edge.kind, edge.order,
+         edge.src_log_index, edge.dst_log_index)
+        for tx in icd.tx_manager.all_transactions
+        for edge in tx.out_edges
+    )
+
+
+def _run_arm(fastpath, method_specs, thread_scripts, seed):
+    saved = os.environ.get(FASTPATH_ENV)
+    os.environ[FASTPATH_ENV] = "1" if fastpath else "0"
+    try:
+        program = materialize(method_specs, thread_scripts)
+        spec = AtomicitySpecification.initial(program)
+        pcd = PCD()
+        violations = ViolationSummary()
+        icd = ICD(
+            spec,
+            on_scc=lambda comp: violations.extend(pcd.process(comp)),
+            gc_interval=None,
+        )
+        transitions = TransitionLog()
+        icd.octet.add_listener(transitions)
+        # single listener => the executor dispatches the fused barrier
+        Executor(
+            program, RandomScheduler(seed=seed, switch_prob=0.7), [icd]
+        ).run()
+        octet_stats = icd.octet.stats
+        return {
+            "transitions": transitions.records,
+            "edges": _dump_edges(icd),
+            "logs": _dump_logs(icd),
+            "barriers": octet_stats.barriers,
+            "fast_path": octet_stats.fast_path,
+            "fused": octet_stats.fast_path_fused,
+            "idg_edges": icd.stats.idg_edges,
+            "log_entries": icd.stats.log_entries,
+            "log_marks": icd.stats.log_marks,
+            "elision": (icd._elision.stats.logged, icd._elision.stats.elided),
+            "violations": [
+                (r.blamed_method, r.blamed_tx_id, r.thread_name,
+                 r.cycle_methods, r.cycle_tx_ids, r.detector)
+                for r in violations.records
+            ],
+        }
+    finally:
+        if saved is None:
+            os.environ.pop(FASTPATH_ENV, None)
+        else:
+            os.environ[FASTPATH_ENV] = saved
+
+
+@given(program_strategy)
+@settings(max_examples=50, deadline=None)
+def test_fastpath_arms_identical_on_random_schedules(case):
+    method_specs, thread_scripts, seed = case
+    fused = _run_arm(True, method_specs, thread_scripts, seed)
+    reference = _run_arm(False, method_specs, thread_scripts, seed)
+
+    assert reference["fused"] == 0
+    assert fused["fused"] <= fused["fast_path"]
+    for key in fused:
+        if key == "fused":
+            continue
+        assert fused[key] == reference[key], key
+
+
+# ----------------------------------------------------------------------
+# end-to-end: the experiment tables, byte for byte
+# ----------------------------------------------------------------------
+TABLE2_NAMES = ["hedc", "elevator"]
+TABLE3_NAMES = ["hedc", "elevator"]
+FIGURE7_NAMES = ["hedc"]
+
+
+@pytest.fixture()
+def isolated_cache(tmp_path, monkeypatch):
+    """Fresh final-spec cache per arm so neither arm reuses the other's
+    refinement results (the comparison must exercise both pipelines
+    end to end)."""
+
+    def activate(arm):
+        cache = tmp_path / arm
+        cache.mkdir()
+        monkeypatch.setattr(runner, "CACHE_DIR", str(cache))
+        runner._FINAL_SPEC_MEMO.clear()
+
+    yield activate
+    runner._FINAL_SPEC_MEMO.clear()
+
+
+def _both_arms(monkeypatch, isolated_cache, produce):
+    outputs = []
+    for arm, value in (("fused", "1"), ("reference", "0")):
+        isolated_cache(arm)
+        monkeypatch.setenv(FASTPATH_ENV, value)
+        outputs.append(produce())
+    return outputs
+
+
+def test_table2_bytes_identical_across_arms(monkeypatch, isolated_cache):
+    fused, reference = _both_arms(
+        monkeypatch,
+        isolated_cache,
+        lambda: table2.generate(
+            TABLE2_NAMES, trials_per_step=2, seed_base=0
+        ).render(),
+    )
+    assert fused == reference
+
+
+def test_table3_bytes_identical_across_arms(monkeypatch, isolated_cache):
+    fused, reference = _both_arms(
+        monkeypatch,
+        isolated_cache,
+        lambda: table3.generate(
+            TABLE3_NAMES, trials=1, first_trials=1, seed_base=40_000
+        ).render(),
+    )
+    assert fused == reference
+
+
+def test_figure7_bytes_identical_across_arms(monkeypatch, isolated_cache):
+    from repro.harness import figure7
+
+    def produce():
+        result = figure7.generate(
+            FIGURE7_NAMES, trials=1, first_trials=1, seed_base=50_000
+        )
+        # the meas* columns are wall-clock ratios — not deterministic
+        # between *any* two runs; everything modelled must match
+        for row in result.rows:
+            row.measured = {}
+        return result.render()
+
+    fused, reference = _both_arms(monkeypatch, isolated_cache, produce)
+    assert fused == reference

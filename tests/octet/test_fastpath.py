@@ -1,0 +1,134 @@
+"""The inline same-state fast path and its batched hot counters."""
+
+import itertools
+
+import pytest
+
+from repro.octet.runtime import (
+    FASTPATH_ENV,
+    OctetRuntime,
+    barrier_fastpath_enabled,
+)
+from repro.octet.transitions import TransitionKind
+from repro.runtime.events import AccessEvent, AccessKind, Site
+from repro.runtime.heap import Heap
+
+R, W = AccessKind.READ, AccessKind.WRITE
+_seq = itertools.count(1)
+
+
+def make_event(obj, thread, kind):
+    return AccessEvent(
+        seq=next(_seq),
+        thread_name=thread,
+        obj=obj,
+        fieldname="f",
+        kind=kind,
+        is_sync=False,
+        is_array=False,
+        site=Site("m", 0),
+    )
+
+
+@pytest.fixture
+def obj():
+    return Heap().alloc("o")
+
+
+class TestEscapeHatch:
+    def test_default_enabled(self, monkeypatch):
+        monkeypatch.delenv(FASTPATH_ENV, raising=False)
+        assert barrier_fastpath_enabled()
+        assert OctetRuntime().fastpath
+
+    @pytest.mark.parametrize("value", ["0", "false", "off", " 0 ", "FALSE"])
+    def test_disabling_values(self, monkeypatch, value):
+        monkeypatch.setenv(FASTPATH_ENV, value)
+        assert not barrier_fastpath_enabled()
+        assert not OctetRuntime().fastpath
+
+    @pytest.mark.parametrize("value", ["1", "", "on", "yes"])
+    def test_other_values_enable(self, monkeypatch, value):
+        monkeypatch.setenv(FASTPATH_ENV, value)
+        assert barrier_fastpath_enabled()
+
+    def test_constructor_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(FASTPATH_ENV, "0")
+        assert OctetRuntime(fastpath=True).fastpath
+        monkeypatch.delenv(FASTPATH_ENV)
+        assert not OctetRuntime(fastpath=False).fastpath
+
+
+class TestInlineFastPath:
+    def test_same_state_skips_classify_and_listeners(self, obj):
+        runtime = OctetRuntime(fastpath=True)
+        runtime.observe(make_event(obj, "T1", W))
+        record = runtime.observe(make_event(obj, "T1", R))
+        assert record.kind is TransitionKind.SAME_STATE
+        assert record.old_state is record.new_state
+        assert record.old_state is runtime.state_of(obj.oid)
+        assert runtime.stats.fast_path == 1
+        # the runtime's own inline shortcut is not the *fused* barrier
+        assert runtime.stats.fast_path_fused == 0
+
+    @pytest.mark.parametrize("fastpath", [True, False])
+    def test_both_arms_agree_on_records_and_stats(self, fastpath):
+        """One interleaving with every same-state shape (WrEx/RdEx by
+        owner, current RdSh read): identical records either way."""
+
+        def run(arm):
+            heap = Heap()
+            a, b = heap.alloc("a"), heap.alloc("b")
+            runtime = OctetRuntime(
+                fastpath=arm, live_threads=lambda: ["T1", "T2"]
+            )
+            records = []
+            for obj, thread, kind in [
+                (a, "T1", W), (a, "T1", R), (a, "T1", W),   # WrEx by owner
+                (b, "T1", R), (b, "T1", R),                 # RdEx by owner
+                (b, "T2", R), (b, "T2", R), (b, "T1", R),   # RdSh reads
+                (a, "T2", W), (a, "T2", W),                 # conflict, then WrEx
+            ]:
+                records.append(runtime.observe(make_event(obj, thread, kind)))
+            return runtime, records
+
+        fused_runtime, fused_records = run(True)
+        ref_runtime, ref_records = run(False)
+        assert [r.kind for r in fused_records] == [r.kind for r in ref_records]
+        assert [repr(r.new_state) for r in fused_records] == [
+            repr(r.new_state) for r in ref_records
+        ]
+        assert fused_runtime.stats == ref_runtime.stats
+
+
+class TestHotCounterBatching:
+    def test_reading_stats_flushes_pending_counts(self, obj):
+        runtime = OctetRuntime(fastpath=True)
+        runtime.observe(make_event(obj, "T1", W))
+        for _ in range(5):
+            runtime.observe(make_event(obj, "T1", R))
+        # fast-path barriers accumulate in plain pending attributes...
+        assert runtime._fastpath_pending == 5
+        # ...and the stats property folds them in on read
+        assert runtime.stats.barriers == 6
+        assert runtime.stats.fast_path == 5
+        assert runtime._fastpath_pending == 0
+
+    def test_flush_is_idempotent(self, obj):
+        runtime = OctetRuntime(fastpath=True)
+        runtime.observe(make_event(obj, "T1", W))
+        runtime.observe(make_event(obj, "T1", R))
+        runtime.flush_hot_counters()
+        runtime.flush_hot_counters()
+        assert runtime.stats.barriers == 2
+        assert runtime.stats.fast_path == 1
+
+    def test_assigning_stats_discards_pending(self, obj):
+        from repro.octet.runtime import OctetStats
+
+        runtime = OctetRuntime(fastpath=True)
+        runtime.observe(make_event(obj, "T1", W))
+        runtime.observe(make_event(obj, "T1", R))
+        runtime.stats = OctetStats()
+        assert runtime.stats.barriers == 0
+        assert runtime._barriers_pending == 0

@@ -93,6 +93,43 @@ def test_on_access_fast_path_rebinds_as_listeners_are_added():
     assert [entry[0] for entry in log] == ["a", "b"]
 
 
+class Fused(ExecutionListener):
+    """A listener supplying a custom fused access barrier."""
+
+    def __init__(self, log):
+        self.log = log
+
+    def on_access(self, event):
+        self.log.append(("unfused", event.fieldname))
+
+    def access_barrier(self):
+        def fused(event):
+            self.log.append(("fused", event.fieldname))
+
+        return fused
+
+
+def test_single_listener_binds_the_fused_barrier():
+    """With one listener the pipeline dispatches its access_barrier()
+    closure — ICD's fused ICD+Octet call — not plain on_access."""
+    log = []
+    pipeline = ListenerPipeline([Fused(log)])
+    pipeline.on_access(make_event())
+    assert log == [("fused", "f")]
+
+
+def test_fan_out_uses_each_listeners_barrier():
+    log = []
+    pipeline = ListenerPipeline([Fused(log), Probe("p", log)])
+    pipeline.on_access(make_event())
+    assert log == [("fused", "f"), ("p", "access", "f")]
+
+
+def test_default_access_barrier_is_on_access():
+    listener = ExecutionListener()
+    assert listener.access_barrier() == listener.on_access
+
+
 def test_single_listener_fast_path_preserves_event_identity():
     seen = []
 
