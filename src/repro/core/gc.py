@@ -29,12 +29,47 @@ defeating collection — the bug this distinction fixes.)
 Everything else is swept, together with its read/write log.  The rule
 is exercised in ``tests/core/test_gc.py`` and by end-to-end tests that
 compare violation detection with and without collection.
+
+**Incremental marking.**  Re-tracing every root's full forward cone on
+every collection is the dominant cost on workloads where one very long
+transaction anchors a huge, still-growing history (the hubstress
+warden): the same tens of thousands of nodes are re-marked every 64
+transaction ends.  When the owning analysis reports every link it adds
+(:meth:`TransactionCollector.note_link`), the collector instead keeps a
+*persistent* alive set ``S``:
+
+* ``S`` is the exact forward closure of a set of *cached roots*, all of
+  which are still-unfinished transactions.  A root is promoted into the
+  cache (and its cone traced once, into ``S``) after it has been a root
+  for two consecutive collections — churning short transactions never
+  pay for a persistent trace.
+* The graph only ever *grows* between collections (links are added;
+  nodes are unlinked only when swept, and then only dead↔alive links
+  are touched), so ``S`` stays closed by replaying the reported links:
+  a link from inside ``S`` to a node outside it extends ``S`` by that
+  node's current forward cone.  Links from outside ``S`` are discarded
+  — if their source is promoted later, the promotion walks the current
+  graph and picks the target up then.
+* The moment any cached root finishes, ``S`` is invalidated wholesale
+  (a generation-number bump; nodes are lazily unmarked), because a
+  finished root no longer keeps its cone alive.
+
+Roots not covered by ``S`` are traced *ephemerally* per collection,
+with the walk short-circuiting at the ``S`` boundary.  Alive =
+``S`` ∪ ephemeral cones ∪ pins — exactly the legacy mark's result,
+because the cached roots are a subset of the current roots and cone
+union is monotone.  Membership is recorded as generation numbers on
+the transaction (``gc_pmark``/``gc_emark``), so invalidation is O(1)
+and no per-collect set is allocated.  Exact alive counts let the sweep
+be skipped entirely when nothing died.  The mode is **opt-in**
+(:attr:`TransactionCollector.incremental`): ICD enables it and reports
+its links; Velodrome keeps the legacy full mark.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Set
+from typing import Iterable, List, Optional, Set
 
 from repro.core.transactions import Transaction, TransactionManager
 
@@ -60,6 +95,34 @@ class TransactionCollector:
         #: clients that count appends incrementally (ICD) subtract the
         #: swept entries instead of re-summing every live log
         self.last_swept_log_entries = 0
+        #: tx ids swept by the most recent :meth:`collect`, in
+        #: population order — lets clients retire exactly the collected
+        #: nodes (e.g. from the incremental engine) without re-scanning
+        #: the whole pre-collect population for ``collected`` flags
+        self.last_swept_ids: List[int] = []
+        #: incremental marking (see module docstring): only safe when
+        #: the owning analysis reports **every** link it adds via
+        #: :meth:`note_link`; ICD opts in, Velodrome does not
+        self.incremental = False
+        self._pending_links: List[tuple] = []
+        self._cached_roots: List[Transaction] = []
+        self._prev_root_ids: Set[int] = set()
+        # generations start at 1: a fresh transaction's mark words are
+        # 0, which must never compare equal to a live generation
+        self._pgen = 1  # persistent alive-set generation
+        self._egen = 0  # per-collect ephemeral generation (pre-increment)
+        self._persistent_count = 0
+
+    # ------------------------------------------------------------------
+    def note_link(self, src: Optional[Transaction], dst: Transaction) -> None:
+        """Record a graph link (cross edge or intra successor).
+
+        Cheap no-op unless :attr:`incremental` is set.  The pending
+        links are replayed at the next collection to keep the
+        persistent alive set forward-closed.
+        """
+        if self.incremental and src is not None:
+            self._pending_links.append((src, dst))
 
     # ------------------------------------------------------------------
     def collect(self, pinned: Iterable[Transaction] = ()) -> int:
@@ -79,6 +142,8 @@ class TransactionCollector:
                 field metadata is *weak* and deliberately not pinned,
                 per the paper).
         """
+        if self.incremental:
+            return self._collect_incremental(pinned)
         roots: List[Transaction] = list(self._manager.live_transactions())
         extra_pins: List[Transaction] = list(self._manager.latest_transactions())
 
@@ -100,11 +165,13 @@ class TransactionCollector:
         survivors: List[Transaction] = []
         swept = 0
         log_entries = 0
+        swept_ids: List[int] = []
         for tx in self._manager.all_transactions:
             if tx in alive:
                 survivors.append(tx)
                 continue
             swept += 1
+            swept_ids.append(tx.tx_id)
             tx.collected = True
             if tx.log is not None:
                 log_entries += len(tx.log)
@@ -116,7 +183,159 @@ class TransactionCollector:
         self.stats.transactions_collected += swept
         self.stats.log_entries_collected += log_entries
         self.last_swept_log_entries = log_entries
+        self.last_swept_ids = swept_ids
         return swept
+
+    # ------------------------------------------------------------------
+    # incremental marking (opt-in; byte-identical results to the legacy
+    # full mark — see module docstring for the invariants)
+    # ------------------------------------------------------------------
+    def _collect_incremental(self, pinned: Iterable[Transaction]) -> int:
+        manager = self._manager
+        roots = manager.live_transactions()
+        extra_pins = manager.latest_transactions()
+        self._egen += 1
+        egen = self._egen
+
+        # 1. a cached root that finished no longer keeps its cone alive:
+        #    drop the whole persistent set (lazy unmark via generation)
+        cached = self._cached_roots
+        if cached and any(r.finished for r in cached):
+            self._pgen += 1
+            self._persistent_count = 0
+            self._cached_roots = cached = []
+            self._pending_links.clear()
+        pgen = self._pgen
+
+        # 2. replay links added since the last collect to keep S closed
+        pending = self._pending_links
+        if pending:
+            for src, dst in pending:
+                if src.gc_pmark == pgen and dst.gc_pmark != pgen:
+                    self._mark_persistent(dst, pgen)
+            pending.clear()
+
+        # 3. roots already inside S are covered (S is forward-closed);
+        #    roots that were also roots last collect are promoted into
+        #    the cache; the rest are traced ephemerally below
+        prev_ids = self._prev_root_ids
+        volatile: List[Transaction] = []
+        for root in roots:
+            if root.gc_pmark == pgen:
+                continue
+            if root.tx_id in prev_ids:
+                self._mark_persistent(root, pgen)
+                cached.append(root)
+            else:
+                volatile.append(root)
+
+        ephemeral = 0
+        for root in volatile:
+            ephemeral += self._mark_ephemeral(root, pgen, egen)
+
+        # 4. pins are kept as bare nodes, never traversed
+        for tx in extra_pins:
+            if not tx.collected and tx.gc_pmark != pgen and tx.gc_emark != egen:
+                tx.gc_emark = egen
+                ephemeral += 1
+        for tx in pinned:
+            if (
+                tx is not None
+                and not tx.collected
+                and tx.gc_pmark != pgen
+                and tx.gc_emark != egen
+            ):
+                tx.gc_emark = egen
+                ephemeral += 1
+
+        self._prev_root_ids = {root.tx_id for root in roots}
+
+        # 5. sweep — skipped entirely when the exact alive count says
+        #    nothing died (the common case between violation bursts)
+        population = manager.all_transactions
+        swept = len(population) - self._persistent_count - ephemeral
+        log_entries = 0
+        swept_ids: List[int] = []
+        if swept:
+            survivors: List[Transaction] = []
+            for tx in population:
+                if tx.gc_pmark == pgen or tx.gc_emark == egen:
+                    survivors.append(tx)
+                    continue
+                swept_ids.append(tx.tx_id)
+                tx.collected = True
+                if tx.log is not None:
+                    log_entries += len(tx.log)
+                    tx.log = None
+                self._unlink_marked(tx, pgen, egen)
+            manager.all_transactions = survivors
+
+        self.stats.collections += 1
+        self.stats.transactions_collected += swept
+        self.stats.log_entries_collected += log_entries
+        self.last_swept_log_entries = log_entries
+        self.last_swept_ids = swept_ids
+        return swept
+
+    def _mark_persistent(self, root: Transaction, pgen: int) -> None:
+        """Mark ``root``'s forward cone into the persistent set,
+        keeping the exact persistent population count current."""
+        marked = 0
+        frontier = [root]
+        while frontier:
+            tx = frontier.pop()
+            if tx.gc_pmark == pgen:
+                continue
+            tx.gc_pmark = pgen
+            marked += 1
+            for edge in tx.out_edges:
+                if edge.dst.gc_pmark != pgen:
+                    frontier.append(edge.dst)
+            nxt = tx.intra_next
+            if nxt is not None and nxt.gc_pmark != pgen:
+                frontier.append(nxt)
+        self._persistent_count += marked
+
+    def _mark_ephemeral(self, root: Transaction, pgen: int, egen: int) -> int:
+        """Mark a volatile root's cone, stopping at the S boundary."""
+        marked = 0
+        frontier = [root]
+        while frontier:
+            tx = frontier.pop()
+            if tx.gc_emark == egen or tx.gc_pmark == pgen:
+                continue
+            tx.gc_emark = egen
+            marked += 1
+            for edge in tx.out_edges:
+                dst = edge.dst
+                if dst.gc_emark != egen and dst.gc_pmark != pgen:
+                    frontier.append(dst)
+            nxt = tx.intra_next
+            if nxt is not None and nxt.gc_emark != egen and nxt.gc_pmark != pgen:
+                frontier.append(nxt)
+        return marked
+
+    @staticmethod
+    def _unlink_marked(tx: Transaction, pgen: int, egen: int) -> None:
+        """:meth:`_unlink` with mark-word liveness tests."""
+        for edge in tx.out_edges:
+            dst = edge.dst
+            if dst.gc_pmark == pgen or dst.gc_emark == egen:
+                dst.in_edges = [e for e in dst.in_edges if e is not edge]
+        for edge in tx.in_edges:
+            src = edge.src
+            if src.gc_pmark == pgen or src.gc_emark == egen:
+                src.out_edges = [e for e in src.out_edges if e is not edge]
+        nxt = tx.intra_next
+        if nxt is not None and (nxt.gc_pmark == pgen or nxt.gc_emark == egen):
+            nxt.intra_prev = None
+        prev = tx.intra_prev
+        if prev is not None and (prev.gc_pmark == pgen or prev.gc_emark == egen):
+            prev.intra_next = None
+        tx.out_edges = []
+        tx.in_edges = []
+        tx.intra_next = None
+        tx.intra_prev = None
 
     @staticmethod
     def _unlink(tx: Transaction, alive: Set[Transaction]) -> None:

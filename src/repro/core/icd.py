@@ -27,7 +27,7 @@ ICD's imprecision is inherited from Octet and is intentional
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.gc import TransactionCollector
 from repro.core.rwlog import AccessEntry, ElisionFilter, ReadWriteLog
@@ -121,6 +121,11 @@ class ICD(ExecutionListener, OctetListener):
             reproducing the paper's 32-bit out-of-memory ceilings.
         gc_interval: run the transaction collector every N transaction
             ends (None disables collection).
+        gc_incremental: use the collector's incremental marking (ICD
+            reports every IDG link it adds, which is what makes the
+            mode sound — see :mod:`repro.core.gc`).  Results are
+            byte-identical either way; ``False`` restores the legacy
+            full mark-sweep as a reference arm.
     """
 
     def __init__(
@@ -143,6 +148,7 @@ class ICD(ExecutionListener, OctetListener):
         track_unary_sites: bool = False,
         monitor_unary_site: Optional[Callable[[str], bool]] = None,
         use_engine: bool = True,
+        gc_incremental: bool = True,
     ) -> None:
         self.spec = spec
         self.logging_enabled = logging_enabled
@@ -186,6 +192,11 @@ class ICD(ExecutionListener, OctetListener):
         #: extension: unary tx id -> enclosing methods of its accesses
         self.unary_sites: Dict[int, Set[str]] = {}
         self.collector = TransactionCollector(self.tx_manager)
+        # incremental marking is sound only because ICD reports every
+        # link it adds (cross edges in _add_edge, intra links in
+        # _transaction_started); Velodrome shares the collector class
+        # but not this contract, so the mode is opt-in here
+        self.collector.incremental = gc_incremental
         self.octet = OctetRuntime(
             is_thread_blocked=self._is_thread_blocked,
             live_threads=lambda: sorted(self._started_threads),
@@ -279,9 +290,19 @@ class ICD(ExecutionListener, OctetListener):
         octet = self.octet
         states = octet._states
         thread_rdsh = octet._thread_rdsh
-        tx_for_access = self.tx_manager.transaction_for_access
+        tx_manager = self.tx_manager
+        tx_for_fields = tx_manager.transaction_for_fields
+        # regular-transaction demarcation and the elision window probe
+        # are inlined, mirroring the columnar barrier (the bound dicts
+        # are created once in their owners' __init__ and only mutated
+        # in place); the slow calls remain for unary / first-access
+        tx_current = tx_manager._current
+        tx_stats = tx_manager.stats
         stats = self.stats
         elision = self._elision
+        el_last = elision._last_by_thread
+        el_ts = elision._thread_ts
+        el_stats = elision.stats
         addr_intern = self._addr_intern
         site_intern = self._site_intern
         instrument_arrays = self.instrument_arrays
@@ -294,6 +315,7 @@ class ICD(ExecutionListener, OctetListener):
             event: AccessEvent,
             *,
             _READ: AccessKind = AccessKind.READ,
+            _WRITE: AccessKind = AccessKind.WRITE,
             _WR_EX: StateKind = StateKind.WR_EX,
             _RD_EX: StateKind = StateKind.RD_EX,
             _RD_SH: StateKind = StateKind.RD_SH,
@@ -317,9 +339,16 @@ class ICD(ExecutionListener, OctetListener):
                     and event.kind is _READ
                     and thread_rdsh.get(thread, 0) >= state.counter
                 ):
-                    tx = tx_for_access(event)
-                    if tx is None:
-                        return  # not instrumented in this configuration
+                    tx = tx_current.get(thread)
+                    if tx is not None and not tx.is_unary:
+                        if not tx.monitored:
+                            tx_stats.skipped_accesses += 1
+                            return
+                        tx_stats.regular_accesses += 1
+                    else:
+                        tx = tx_for_fields(thread, event.site)
+                        if tx is None:
+                            return  # not instrumented in this configuration
                     stats.instrumented_accesses += 1
                     octet._barriers_pending += 1
                     octet._fastpath_pending += 1
@@ -330,10 +359,24 @@ class ICD(ExecutionListener, OctetListener):
                             log = tx.log = ReadWriteLog()
                         address = (oid, event.fieldname)
                         address = addr_intern.setdefault(address, address)
-                        if elide_duplicates and not elision.should_log_addr(
-                            thread, address, event.kind
-                        ):
-                            return
+                        if elide_duplicates:
+                            per_thread = el_last.get(thread)
+                            if per_thread is None:
+                                per_thread = el_last[thread] = {}
+                            last = per_thread.get(address)
+                            ts = el_ts.get(thread, 0)
+                            if (
+                                last is not None
+                                and last[0] == ts
+                                and (
+                                    last[1] is event.kind
+                                    or last[1] is _WRITE
+                                )
+                            ):
+                                el_stats.elided += 1
+                                return
+                            per_thread[address] = (ts, event.kind)
+                            el_stats.logged += 1
                         site = event.site
                         site_str = site_intern.get(site)
                         if site_str is None:
@@ -352,6 +395,143 @@ class ICD(ExecutionListener, OctetListener):
             slow_path(event)
 
         return fused_access
+
+    def access_barrier_batch(self) -> Optional[Callable[..., None]]:
+        """Build the columnar barrier for the batch executor.
+
+        Same fast-path predicate and bookkeeping as the closure from
+        :meth:`access_barrier`, but consuming the batch loop's
+        pre-interned column values — object, field name, ``(oid,
+        field)`` address, canonical site, site string — directly, so a
+        compatible-state access performs no allocation at all.  Only
+        when the access leaves the fast path (first access to an
+        object, any Octet state transition) is an
+        :class:`AccessEvent` materialized for the reference
+        :meth:`on_access` slow path, which keeps outputs byte-identical
+        by construction.  Returns ``None`` for configurations the fused
+        path does not serve (fast path disabled, unary site tracking,
+        object-granularity arrays); the executor then routes every
+        access through the ordinary event path.
+        """
+        if (
+            not self.octet.fastpath
+            or self.track_unary_sites
+            or self.array_granularity_object
+        ):
+            return None
+
+        octet = self.octet
+        states = octet._states
+        thread_rdsh = octet._thread_rdsh
+        tx_manager = self.tx_manager
+        tx_for_fields = tx_manager.transaction_for_fields
+        # the regular-transaction fast path of transaction_for_fields
+        # and the elision window probe are inlined below (both dicts
+        # are created once in their owners' __init__ and only mutated
+        # in place, so binding them here is safe); the slow calls
+        # remain for the unary / first-access cases
+        tx_current = tx_manager._current
+        tx_stats = tx_manager.stats
+        stats = self.stats
+        elision = self._elision
+        el_last = elision._last_by_thread
+        el_ts = elision._thread_ts
+        el_stats = elision.stats
+        instrument_arrays = self.instrument_arrays
+        logging_enabled = self.logging_enabled
+        elide_duplicates = self.elide_duplicates
+        slow_path = self.on_access
+        check_budget = self.memory_budget is not None
+
+        def fused_batch(
+            seq: int,
+            thread: str,
+            obj: Any,
+            fieldname: str,
+            kind: AccessKind,
+            site: Site,
+            address: Tuple[int, str],
+            site_str: str,
+            is_array: bool,
+            *,
+            _READ: AccessKind = AccessKind.READ,
+            _WRITE: AccessKind = AccessKind.WRITE,
+            _WR_EX: StateKind = StateKind.WR_EX,
+            _RD_EX: StateKind = StateKind.RD_EX,
+            _RD_SH: StateKind = StateKind.RD_SH,
+        ) -> None:
+            if is_array and not instrument_arrays:
+                stats.array_accesses_skipped += 1
+                return
+            oid = obj.oid
+            state = states.get(oid)
+            if state is not None:
+                skind = state.kind
+                if (
+                    state.owner == thread
+                    and (
+                        skind is _WR_EX
+                        or (skind is _RD_EX and kind is _READ)
+                    )
+                ) or (
+                    skind is _RD_SH
+                    and kind is _READ
+                    and thread_rdsh.get(thread, 0) >= state.counter
+                ):
+                    tx = tx_current.get(thread)
+                    if tx is not None and not tx.is_unary:
+                        if not tx.monitored:
+                            tx_stats.skipped_accesses += 1
+                            return
+                        tx_stats.regular_accesses += 1
+                    else:
+                        tx = tx_for_fields(thread, site)
+                        if tx is None:
+                            return  # not instrumented in this configuration
+                    stats.instrumented_accesses += 1
+                    octet._barriers_pending += 1
+                    octet._fastpath_pending += 1
+                    octet._fused_pending += 1
+                    if logging_enabled:
+                        log = tx.log
+                        if log is None:
+                            log = tx.log = ReadWriteLog()
+                        # address and site_str are already canonical in
+                        # the executor's column tables; ICD's own intern
+                        # tables (fed by the slow path) only yield
+                        # value-equal duplicates, so no folding needed
+                        if elide_duplicates:
+                            per_thread = el_last.get(thread)
+                            if per_thread is None:
+                                per_thread = el_last[thread] = {}
+                            last = per_thread.get(address)
+                            ts = el_ts.get(thread, 0)
+                            if (
+                                last is not None
+                                and last[0] == ts
+                                and (last[1] is kind or last[1] is _WRITE)
+                            ):
+                                el_stats.elided += 1
+                                return
+                            per_thread[address] = (ts, kind)
+                            el_stats.logged += 1
+                        log.entries.append(
+                            AccessEntry(
+                                kind, oid, fieldname, seq, site_str, address,
+                            )
+                        )
+                        stats.log_entries += 1
+                        self._live_log_entries += 1
+                        if check_budget:
+                            self._check_budget()
+                    return
+            slow_path(
+                AccessEvent(
+                    seq, thread, obj, fieldname, kind, False, is_array, site
+                )
+            )
+
+        return fused_batch
 
     def on_execution_end(self) -> None:
         self.tx_manager.finish_all()
@@ -456,6 +636,7 @@ class ICD(ExecutionListener, OctetListener):
         dst.in_edges.append(edge)
         src.edge_touched = True
         dst.edge_touched = True
+        self.collector.note_link(src, dst)
         self.stats.idg_edges += 1
         if self.scheduler is not None:
             # must precede the eager unary end below: ending src fires
@@ -520,6 +701,7 @@ class ICD(ExecutionListener, OctetListener):
     # transaction lifecycle
     # ------------------------------------------------------------------
     def _transaction_started(self, tx: Transaction) -> None:
+        self.collector.note_link(tx.intra_prev, tx)
         if self.logging_enabled and tx.monitored:
             tx.log = ReadWriteLog()
         self._elision.bump(tx.thread_name)
@@ -592,14 +774,13 @@ class ICD(ExecutionListener, OctetListener):
         roots: List[Transaction] = list(self._last_rdex.values())
         if self._g_last_rdsh is not None:
             roots.append(self._g_last_rdsh)
-        population = self.tx_manager.all_transactions
         self.collector.collect(roots)
         if self.scheduler is not None:
             # the engine keeps merged components (its acyclicity
-            # certificate) but can drop collected singletons
-            self.scheduler.forget(
-                tx.tx_id for tx in population if tx.collected
-            )
+            # certificate) but can drop collected singletons; the
+            # collector reports exactly what this collection swept, so
+            # no re-scan of the pre-collect population is needed
+            self.scheduler.forget(self.collector.last_swept_ids)
         self._live_log_entries -= self.collector.last_swept_log_entries
         if not self.logging_enabled:
             live_ids = {t.tx_id for t in self.tx_manager.all_transactions}

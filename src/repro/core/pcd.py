@@ -23,6 +23,7 @@ test verify the agreement claim against the true execution order).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -136,42 +137,90 @@ class PCD:
         merged: List[Tuple[Transaction, AccessEntry]] = []
         remaining = sum(len(s) for s in streams)
 
-        def ready(index: int) -> bool:
+        # K-way merge on a heap of (seq, stream index): every stream is
+        # in exactly one place — the heap when its head entry is ready
+        # to emit, ``parked[order]`` when its head is a sink mark still
+        # waiting for that edge's source mark, nowhere once exhausted.
+        # Readiness only changes when a source mark is emitted, so
+        # parked streams re-enter the heap exactly then; ties on seq
+        # break toward the lowest stream index, matching the reference
+        # scan order.
+        heap: List[Tuple[int, int]] = []
+        parked: Dict[int, List[int]] = {}
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        append_merged = merged.append
+
+        def place(index: int) -> None:
             pos = positions[index]
             stream = streams[index]
             if pos >= len(stream):
-                return False
+                return
             entry = stream[pos][1]
-            if isinstance(entry, EdgeMark) and not entry.is_source:
-                if entry.edge_order in constrained:
-                    return entry.edge_order in emitted_sources
-            return True
+            if (
+                isinstance(entry, EdgeMark)
+                and not entry.is_source
+                and entry.edge_order in constrained
+                and entry.edge_order not in emitted_sources
+            ):
+                parked.setdefault(entry.edge_order, []).append(index)
+                return
+            heappush(heap, (entry.seq, index))  # type: ignore[attr-defined]
 
-        def entry_seq(index: int) -> int:
-            entry = streams[index][positions[index]][1]
-            return entry.seq  # type: ignore[attr-defined]
+        for i in range(len(streams)):
+            place(i)
 
+        self.stats.entries_replayed += remaining
         while remaining:
-            candidates = [i for i in range(len(streams)) if ready(i)]
-            if not candidates:
+            if heap:
+                _, index = heappop(heap)
+            else:
                 # inconsistent anchors should be impossible; fall back to
                 # raw sequence order rather than failing the analysis
                 self.stats.order_fallbacks += 1
-                candidates = [
-                    i
-                    for i in range(len(streams))
-                    if positions[i] < len(streams[i])
-                ]
-            index = min(candidates, key=entry_seq)
-            tx, entry = streams[index][positions[index]]
-            positions[index] += 1
+                index = min(
+                    (
+                        i
+                        for i in range(len(streams))
+                        if positions[i] < len(streams[i])
+                    ),
+                    key=lambda i: streams[i][positions[i]][1].seq,  # type: ignore[attr-defined]
+                )
+                for waiting in parked.values():
+                    if index in waiting:
+                        waiting.remove(index)
+                        break
+            stream = streams[index]
+            pos = positions[index]
+            item = stream[pos]
+            positions[index] = pos = pos + 1
             remaining -= 1
-            self.stats.entries_replayed += 1
+            entry = item[1]
             if isinstance(entry, EdgeMark):
                 if entry.is_source:
-                    emitted_sources.add(entry.edge_order)
-                continue
-            merged.append((tx, entry))  # type: ignore[arg-type]
+                    order = entry.edge_order
+                    emitted_sources.add(order)
+                    for waiting in parked.pop(order, ()):
+                        wpos = positions[waiting]
+                        heappush(
+                            heap,
+                            (streams[waiting][wpos][1].seq, waiting),  # type: ignore[attr-defined]
+                        )
+            else:
+                append_merged(item)  # type: ignore[arg-type]
+            # place(index), inlined: the merge pops once per entry, so
+            # the closure call would dominate the loop
+            if pos < len(stream):
+                nxt = stream[pos][1]
+                if (
+                    isinstance(nxt, EdgeMark)
+                    and not nxt.is_source
+                    and nxt.edge_order in constrained
+                    and nxt.edge_order not in emitted_sources
+                ):
+                    parked.setdefault(nxt.edge_order, []).append(index)
+                else:
+                    heappush(heap, (nxt.seq, index))  # type: ignore[attr-defined]
         return merged
 
     # ------------------------------------------------------------------
@@ -189,14 +238,17 @@ class PCD:
         chain: Dict[str, Transaction] = {}
         pdg = PDG(use_engine=self.use_engine)
         violations: List[ViolationRecord] = []
+        stats = self.stats
+        add_edge = pdg.add_edge
+        _READ = AccessKind.READ
 
+        stats.accesses_replayed += len(merged)
         for tx, entry in merged:
-            self.stats.accesses_replayed += 1
             if tx.tx_id not in tx_by_id:
                 previous = chain.get(tx.thread_name)
                 if previous is not None and previous is not tx:
                     # created at tx start; can never close a cycle
-                    pdg.add_edge(previous.tx_id, tx.tx_id)
+                    add_edge(previous.tx_id, tx.tx_id)
                 chain[tx.thread_name] = tx
             tx_by_id[tx.tx_id] = tx
             address = entry.address
@@ -204,27 +256,30 @@ class PCD:
 
             writer = last_write.get(address)
             if writer is not None and writer.thread_name != tx.thread_name:
-                edge = pdg.add_edge(writer.tx_id, tx.tx_id)
+                edge = add_edge(writer.tx_id, tx.tx_id)
                 if edge is not None:
                     new_edges.append(edge)
 
-            if entry.kind is AccessKind.READ:
-                last_reads.setdefault(address, {})[tx.thread_name] = tx
+            if entry.kind is _READ:
+                readers = last_reads.get(address)
+                if readers is None:
+                    readers = last_reads[address] = {}
+                readers[tx.thread_name] = tx
             else:
                 readers = last_reads.get(address)
                 if readers:
                     for thread_name, reader in readers.items():
                         if thread_name != tx.thread_name:
-                            edge = pdg.add_edge(reader.tx_id, tx.tx_id)
+                            edge = add_edge(reader.tx_id, tx.tx_id)
                             if edge is not None:
                                 new_edges.append(edge)
                     readers.clear()
                 last_write[address] = tx
 
             for edge in new_edges:
-                self.stats.pdg_edges += 1
+                stats.pdg_edges += 1
                 cycle = pdg.find_cycle_through(edge)
-                self.stats.cycle_checks += 1
+                stats.cycle_checks += 1
                 if cycle is None:
                     continue
                 record = self._report(cycle, tx_by_id)

@@ -64,6 +64,8 @@ class Transaction:
         "log",
         "monitored",
         "collected",
+        "gc_pmark",
+        "gc_emark",
     )
 
     def __init__(
@@ -87,6 +89,11 @@ class Transaction:
         self.log = None  # type: ignore[assignment]
         self.monitored = monitored
         self.collected = False
+        # incremental-GC mark words (see repro.core.gc): generation
+        # numbers of the collector's persistent alive set and of the
+        # per-collect ephemeral trace; stale values are simply ignored
+        self.gc_pmark = 0
+        self.gc_emark = 0
 
     def successors(self) -> List["Transaction"]:
         """IDG successors: cross-thread edge sinks plus the intra next."""
@@ -244,7 +251,17 @@ class TransactionManager:
         did not implicate, or unary context with unary monitoring off).
         Instrumented accesses are counted for Table 3.
         """
-        thread = event.thread_name
+        return self.transaction_for_fields(event.thread_name, event.site)
+
+    def transaction_for_fields(self, thread: str, site) -> Optional[Transaction]:
+        """:meth:`transaction_for_access` on unpacked event fields.
+
+        The batched executor's column barrier calls this directly with
+        the thread name and interned :class:`~repro.runtime.events.Site`
+        so no :class:`AccessEvent` has to be materialized on the fast
+        path; only ``site.method`` is consulted (for the unary-site
+        filter).
+        """
         current = self._current.get(thread)
         if current is not None and not current.is_unary:
             if not current.monitored:
@@ -256,7 +273,7 @@ class TransactionManager:
             self.stats.skipped_accesses += 1
             return None
         if self._monitor_unary_site is not None and not self._monitor_unary_site(
-            event.site.method
+            site.method
         ):
             self.stats.skipped_accesses += 1
             return None

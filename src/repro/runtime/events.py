@@ -67,6 +67,29 @@ class Site:
         self.method, self.index = state
 
 
+#: process-wide site intern table: sites are value types keyed by
+#: ``(method, index)``, and the set of distinct sites is bounded by the
+#: program text, so canonical instances can be shared freely — the
+#: executor, the lowering pass, and ICD's site-string table all probe
+#: with the same object, making every downstream hash hit cheap
+_SITE_INTERN: dict = {}
+
+
+def intern_site(method: str, index: int = 0) -> Site:
+    """The canonical :class:`Site` for a ``(method, index)`` location.
+
+    Both executor arms use this, so the reference interpreter and the
+    lowered column tables share identical instances (not merely equal
+    values).  Interning changes object identity only; all comparisons
+    remain by value.
+    """
+    key = (method, index)
+    site = _SITE_INTERN.get(key)
+    if site is None:
+        site = _SITE_INTERN[key] = Site(method, index)
+    return site
+
+
 # Pseudo-field names used when synchronization is modelled as an access.
 LOCK_FIELD = "<monitor>"
 THREAD_FIELD = "<thread>"
@@ -213,4 +236,5 @@ __all__ = [
     "Site",
     "THREAD_FIELD",
     "ThreadEvent",
+    "intern_site",
 ]

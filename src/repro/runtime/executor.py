@@ -28,9 +28,22 @@ from repro.runtime.events import (
     AccessEvent,
     AccessKind,
     Site,
+    intern_site,
 )
 from repro.runtime.heap import SharedArray, SharedObject
 from repro.runtime.listeners import ExecutionListener, ListenerPipeline
+from repro.runtime.lowering import (
+    OP_AREAD,
+    OP_AWRITE,
+    OP_COMPUTE,
+    OP_READ,
+    OP_WRITE,
+    VAL_CONST,
+    VAL_INC,
+    LoweredBody,
+    batch_executor_enabled,
+    lower_script,
+)
 from repro.runtime.program import Program
 from repro.runtime.scheduler import RoundRobinScheduler, Scheduler
 from repro.runtime.sync import LockTable
@@ -75,6 +88,27 @@ class _PendingAcquire:
 @dataclass
 class _PendingJoin:
     target: str
+
+
+class _LoweredFrame:
+    """One activation of a lowered body on a thread's call stack.
+
+    Occupies the generator slot of the ``(method, payload)`` frame
+    tuple; the batch interpreter advances ``pc`` through the body's
+    columns instead of ``gen.send``-ing into a generator."""
+
+    __slots__ = ("body", "pc", "regs")
+
+    def __init__(self, body: LoweredBody) -> None:
+        self.body = body
+        self.pc = 0
+        # registers start as None, matching the reference script
+        # interpreter's regs.get() for a never-written register
+        self.regs: List[Any] = [None] * body.nregs
+
+
+#: cache-miss sentinel ("not lowerable" is cached as None)
+_UNSET = object()
 
 
 class Executor:
@@ -125,6 +159,17 @@ class Executor:
         self._live_count = 0
         self._per_thread_steps: Dict[str, int] = {}
         self._on_access = self.pipeline.on_access
+        # Batch execution state.  ``_lowered`` caches one LoweredBody
+        # per (method, args) activation shape; None marks bodies that
+        # cannot be lowered (plain generators, unhashable args).
+        self._batch = batch_executor_enabled()
+        self._lowered: Dict[Tuple[str, Tuple[Any, ...]], Optional[LoweredBody]] = {}
+        self._addr_intern: Dict[Tuple[int, str], Tuple[int, str]] = {}
+        self._batch_steps = 0
+        self._batch_accesses = 0
+        self._batch_delegations = 0
+        self._batch_frames_lowered = 0
+        self._batch_frames_generator = 0
         # Telemetry.  The recorder is captured once; when telemetry is
         # off it is the NOOP null object and ``run`` takes the exact
         # pre-telemetry path (no per-step or per-access additions).
@@ -157,9 +202,18 @@ class Executor:
         if calls:
             obs.inc("executor.listener_dispatch.calls", calls)
             obs.observe("executor.listener_dispatch.seconds", seconds)
+        if self._batch:
+            obs.inc("executor.batch.steps", self._batch_steps)
+            obs.inc("executor.batch.accesses", self._batch_accesses)
+            obs.inc("executor.batch.delegations", self._batch_delegations)
+            obs.inc("executor.batch.frames_lowered", self._batch_frames_lowered)
+            obs.inc("executor.batch.frames_generator", self._batch_frames_generator)
+            obs.inc("executor.batch.bodies", len(self._lowered))
         return result
 
     def _run_loop(self, tracked: bool = False) -> ExecutionResult:
+        if self._batch:
+            return self._run_loop_batch(tracked)
         self.scheduler.reset()
         # rebind the access fast path in case listeners were attached
         # to the pipeline after construction; with a single listener the
@@ -199,6 +253,222 @@ class Executor:
                 raise StepLimitExceeded(step_limit)
             self._step(threads[chosen])
 
+        self.pipeline.on_execution_end()
+        elapsed = time.perf_counter() - started
+        return ExecutionResult(
+            steps=self._steps,
+            access_count=self._access_count,
+            sync_access_count=self._sync_access_count,
+            per_thread_ops=dict(self._per_thread_steps),
+            elapsed_seconds=elapsed,
+            thread_names=sorted(self.threads),
+        )
+
+    # ------------------------------------------------------------------
+    # batch execution
+    # ------------------------------------------------------------------
+    def _batch_emitter(self):
+        """The per-access sink for the batch loop.
+
+        Preference order: a listener-provided *batch barrier* (no
+        AccessEvent allocation at all), then the ordinary event path
+        (allocating an event per access, exactly like the reference
+        arm), then a no-op when nobody is listening.  All three are
+        observationally identical because events are value types built
+        from the same columns.
+        """
+        plain_dispatch = self._on_access is self.pipeline.on_access
+        listeners = self.pipeline.listeners
+        if plain_dispatch and not listeners:
+
+            def discard(seq, thread_name, obj, fieldname, kind, site,
+                        address, site_str, is_array):
+                return None
+
+            return discard
+        if plain_dispatch and len(listeners) == 1:
+            factory = getattr(listeners[0], "access_barrier_batch", None)
+            if factory is not None:
+                barrier = factory()
+                if barrier is not None:
+                    return barrier
+        on_access = self._on_access
+
+        def emit(seq, thread_name, obj, fieldname, kind, site,
+                 address, site_str, is_array, _event=AccessEvent):
+            on_access(
+                _event(seq, thread_name, obj, fieldname, kind, False,
+                       is_array, site)
+            )
+
+        return emit
+
+    def _lowered_body(self, method: str, args: Tuple[Any, ...]) -> Optional[LoweredBody]:
+        key = (method, args)
+        try:
+            cached = self._lowered.get(key, _UNSET)
+        except TypeError:
+            # unhashable args cannot key the cache; run as a generator
+            return None
+        if cached is not _UNSET:
+            return cached
+        script_fn = getattr(self.program.lookup(method).body, "_dc_script_fn", None)
+        lowered = None
+        if script_fn is not None:
+            lowered = lower_script(
+                script_fn(self._context, *args), method, self._addr_intern
+            )
+        self._lowered[key] = lowered
+        return lowered
+
+    def _run_loop_batch(self, tracked: bool = False) -> ExecutionResult:
+        """Batch-mode run loop: tight columnar interpretation.
+
+        Lowered frames execute without generator sends, op-dataclass
+        allocations, handler-dict dispatch, or Site construction; each
+        access calls the emitter with pre-interned column values.
+        Control ops, generator frames, blocked-op retries, and thread
+        starts delegate to the exact reference-arm handlers, so every
+        observable transition matches the reference loop byte for byte.
+        """
+        self.scheduler.reset()
+        self._on_access = self.pipeline.on_access
+        choose = self.scheduler.choose
+        if tracked:
+            choose = self._tracking_choose(choose)
+            if self._obs.mode == MODE_FULL and self.pipeline.listeners:
+                self._time_listener_dispatch()
+        emit = self._batch_emitter()
+        started = time.perf_counter()
+        for spec in self.program.threads:
+            self._spawn(spec.name, spec.method, spec.args)
+
+        runnable = self._runnable
+        runnable_set = self._runnable_set
+        threads = self.threads
+        step_limit = self.step_limit
+        per_thread = self._per_thread_steps
+        handlers = self._HANDLERS
+        pending_classes = (_PendingAcquire, _PendingJoin)
+        kind_read = AccessKind.READ
+        kind_write = AccessKind.WRITE
+        batch_steps = 0
+        batch_accesses = 0
+        batch_delegations = 0
+        while self._live_count:
+            if not runnable:
+                blocked = {
+                    t.name: t.state.value
+                    for t in threads.values()
+                    if t.is_live()
+                }
+                raise DeadlockError(blocked)
+            chosen = choose(runnable, self._steps)
+            if chosen not in runnable_set:
+                raise ProgramError(
+                    f"scheduler chose non-runnable thread {chosen!r}"
+                )
+            self._steps += 1
+            if self._steps > step_limit:
+                raise StepLimitExceeded(step_limit)
+            thread = threads[chosen]
+            per_thread[chosen] += 1
+            if not thread.started:
+                thread.started = True
+                self.pipeline.on_thread_start(chosen)
+                self._emit_sync_access(
+                    thread, thread.thread_obj, THREAD_FIELD, kind_read,
+                    intern_site("<thread-start>"),
+                )
+                continue
+            if thread.compute_remaining > 0:
+                thread.compute_remaining -= 1
+                continue
+            pending = thread.pending_value
+            if pending is not None and pending.__class__ in pending_classes:
+                self._retry_pending(thread)
+                continue
+            frame = thread.frames[-1][1]
+            if frame.__class__ is not _LoweredFrame:
+                self._advance(thread)
+                continue
+            # ---- lowered fast path: one column entry per step ----
+            batch_steps += 1
+            if pending is not None:
+                # a value produced for this frame (a callee's return,
+                # fork's thread name): scripts never capture those
+                thread.pending_value = None
+            body = frame.body
+            pc = frame.pc
+            if pc == body.length:
+                # one step past the last op, like a generator's
+                # StopIteration step in the reference arm
+                self._return_from_frame(thread, None)
+                continue
+            frame.pc = pc + 1
+            code = body.codes[pc]
+            if code <= OP_AWRITE:
+                batch_accesses += 1
+                seq = self._seq + 1
+                self._seq = seq
+                self._access_count += 1
+                obj = body.objs[pc]
+                fieldname = body.fields[pc]
+                if code == OP_READ:
+                    emit(seq, chosen, obj, fieldname, kind_read,
+                         body.sites[pc], body.addresses[pc],
+                         body.site_strs[pc], False)
+                    dst = body.dst_regs[pc]
+                    if dst >= 0:
+                        frame.regs[dst] = obj.fields.get(fieldname, 0)
+                elif code == OP_WRITE:
+                    emit(seq, chosen, obj, fieldname, kind_write,
+                         body.sites[pc], body.addresses[pc],
+                         body.site_strs[pc], False)
+                    mode = body.val_modes[pc]
+                    if mode == VAL_INC:
+                        value = (frame.regs[body.val_regs[pc]] or 0) \
+                            + body.val_consts[pc]
+                    elif mode == VAL_CONST:
+                        value = body.val_consts[pc]
+                    else:
+                        value = frame.regs[body.val_regs[pc]]
+                    obj.fields[fieldname] = value
+                elif code == OP_AREAD:
+                    emit(seq, chosen, obj, fieldname, kind_read,
+                         body.sites[pc], body.addresses[pc],
+                         body.site_strs[pc], True)
+                    dst = body.dst_regs[pc]
+                    if dst >= 0:
+                        frame.regs[dst] = obj.elements[body.array_indices[pc]]
+                else:  # OP_AWRITE
+                    emit(seq, chosen, obj, fieldname, kind_write,
+                         body.sites[pc], body.addresses[pc],
+                         body.site_strs[pc], True)
+                    mode = body.val_modes[pc]
+                    if mode == VAL_INC:
+                        value = (frame.regs[body.val_regs[pc]] or 0) \
+                            + body.val_consts[pc]
+                    elif mode == VAL_CONST:
+                        value = body.val_consts[pc]
+                    else:
+                        value = frame.regs[body.val_regs[pc]]
+                    obj.elements[body.array_indices[pc]] = value
+            elif code == OP_COMPUTE:
+                cost = body.val_consts[pc]
+                if cost > 1:
+                    thread.compute_remaining = cost - 1
+            else:
+                # control op: sync the op counter so handler-built
+                # sites carry this pc, then run the reference handler
+                batch_delegations += 1
+                thread.op_counters[-1] = pc
+                op = body.control_ops[pc]
+                handlers[op.__class__](self, thread, op)
+
+        self._batch_steps += batch_steps
+        self._batch_accesses += batch_accesses
+        self._batch_delegations += batch_delegations
         self.pipeline.on_execution_end()
         elapsed = time.perf_counter() - started
         return ExecutionResult(
@@ -273,6 +543,16 @@ class Executor:
         return thread
 
     def _push_call(self, thread: VThread, method: str, args: Tuple[Any, ...]) -> None:
+        if self._batch:
+            lowered = self._lowered_body(method, args)
+            if lowered is not None:
+                self.pipeline.on_method_enter(
+                    thread.name, method, thread.call_depth() + 1
+                )
+                thread.push_frame(method, _LoweredFrame(lowered))
+                self._batch_frames_lowered += 1
+                return
+            self._batch_frames_generator += 1
         definition = self.program.lookup(method)
         result = definition.body(self._context, *args)
         if hasattr(result, "send"):
@@ -297,7 +577,7 @@ class Executor:
         # release-like write of the thread object
         self._emit_sync_access(
             thread, thread.thread_obj, THREAD_FIELD, AccessKind.WRITE,
-            Site("<thread-end>"),
+            intern_site("<thread-end>"),
         )
         self.pipeline.on_thread_end(thread.name)
         # wake joiners
@@ -317,7 +597,7 @@ class Executor:
             # thread: model the child side as an acquire-like read
             self._emit_sync_access(
                 thread, thread.thread_obj, THREAD_FIELD, AccessKind.READ,
-                Site("<thread-start>"),
+                intern_site("<thread-start>"),
             )
             return
         if thread.compute_remaining > 0:
@@ -358,7 +638,7 @@ class Executor:
         handler(self, thread, op)
 
     def _site(self, thread: VThread) -> Site:
-        return Site(thread.current_method(), thread.next_op_index())
+        return intern_site(thread.current_method(), thread.next_op_index())
 
     def _emit_access(
         self,
@@ -507,7 +787,7 @@ class Executor:
             if self.locks.try_acquire(thread.name, pending.obj, pending.depth):
                 thread.pending_value = None
                 thread.blocked_on = None
-                site = Site(thread.current_method(), -1)
+                site = intern_site(thread.current_method(), -1)
                 self._emit_sync_access(
                     thread, pending.obj, LOCK_FIELD, AccessKind.READ, site
                 )
@@ -519,7 +799,7 @@ class Executor:
             if target.state is ThreadState.FINISHED:
                 thread.pending_value = None
                 thread.joining = None
-                site = Site(thread.current_method(), -1)
+                site = intern_site(thread.current_method(), -1)
                 self._emit_sync_access(
                     thread, target.thread_obj, THREAD_FIELD, AccessKind.READ, site
                 )

@@ -9,7 +9,7 @@ demarcation.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List
+from typing import Callable, Iterable, List, Optional
 
 from repro.runtime.events import AccessEvent
 
@@ -42,6 +42,22 @@ class ExecutionListener:
         whenever it rebinds its dispatch.
         """
         return self.on_access
+
+    def access_barrier_batch(self) -> Optional[Callable[..., None]]:
+        """A columnar barrier for the batch executor, or ``None``.
+
+        When the batch executor runs a lowered frame it already holds
+        every piece of an access as pre-interned column values — so a
+        listener may return a callable of signature ``(seq,
+        thread_name, obj, fieldname, kind, site, address, site_str,
+        is_array)`` that consumes those directly, skipping the
+        per-access :class:`AccessEvent` allocation entirely.  Returning
+        ``None`` (the default) makes the executor wrap the columns into
+        events and dispatch :meth:`access_barrier` as usual, so the
+        batch barrier is purely an optimization seam: outputs must be
+        byte-identical either way.
+        """
+        return None
 
     def on_execution_end(self) -> None:
         """The whole program finished; flush any pending analysis work."""

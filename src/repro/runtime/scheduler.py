@@ -84,19 +84,25 @@ class RandomScheduler(Scheduler):
         self.seed = seed
         self.switch_prob = switch_prob
         self._rng = random.Random(seed)
+        # choose() runs once per executor step; bind the RNG methods
+        # once per (re)seed instead of resolving them on every call
+        self._random = self._rng.random
+        self._randrange = self._rng.randrange
         self._current: Optional[str] = None
 
     def choose(self, runnable: Sequence[str], step: int) -> str:
         if (
             self._current in runnable
-            and self._rng.random() >= self.switch_prob
+            and self._random() >= self.switch_prob
         ):
             return self._current
-        self._current = runnable[self._rng.randrange(len(runnable))]
+        self._current = runnable[self._randrange(len(runnable))]
         return self._current
 
     def reset(self) -> None:
         self._rng = random.Random(self.seed)
+        self._random = self._rng.random
+        self._randrange = self._rng.randrange
         self._current = None
 
 

@@ -14,20 +14,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.runtime.ops import (
-    Acquire,
-    ArrayRead,
-    ArrayWrite,
-    Compute,
-    Fork,
-    Invoke,
-    Join,
-    Notify,
-    Read,
-    Release,
-    Wait,
-    Write,
-)
+from repro.runtime.ops import Acquire, Read, Release, Wait, Write
+from repro.runtime.lowering import script_body
 from repro.runtime.program import Program
 from repro.workloads import patterns
 
@@ -180,6 +168,16 @@ _VIOLATION_FACTORIES = (
 )
 
 
+def _pad_script(ctx, lane: int, pad: int) -> List[tuple]:
+    """The thread-local fast-path padding prefix, as script ops."""
+    pad_obj = ctx.private[lane % len(ctx.private)]
+    out = []
+    for i in range(pad):
+        out.append(("read", pad_obj, f"pad{i % 3}", "_pad"))
+        out.append(("write", pad_obj, f"pad{i % 3}", ("inc", "_pad", 1)))
+    return out
+
+
 def _padded(inner, pad: int, takes_lane: bool):
     """Wrap a method body with thread-local fast-path padding.
 
@@ -187,7 +185,23 @@ def _padded(inner, pad: int, takes_lane: bool):
     worker's index) and performs ``pad`` read/write pairs against that
     worker's private object before its real work — the same-state
     traffic that dominates real programs.
+
+    Padding a scripted inner body produces a scripted composite (so
+    the whole method lowers for the batch executor); padding a
+    generator body stays a generator.
     """
+    inner_script = getattr(inner, "_dc_script_fn", None)
+    if inner_script is not None:
+
+        def padded_script(ctx, lane):
+            script = _pad_script(ctx, lane, pad)
+            if takes_lane:
+                script.extend(inner_script(ctx, lane))
+            else:
+                script.extend(inner_script(ctx))
+            return script
+
+        return script_body(padded_script)
 
     def body(ctx, lane):
         pad_obj = ctx.private[lane % len(ctx.private)]
@@ -235,15 +249,20 @@ def _make_safe_methods(program, spec, shared, readonly, hot):
             name = f"private_op{i}"
 
             def make_private(idx=i):
-                def body(ctx, lane):
+                def script(ctx, lane):
                     target = ctx.private[lane % len(ctx.private)]
+                    out = []
                     for j in range(3):
-                        value = yield Read(target, f"field{(idx + j) % 3}")
-                        yield Write(
-                            target, f"field{(idx + j) % 3}", (value or 0) + 1
+                        out.append(
+                            ("read", target, f"field{(idx + j) % 3}", "v")
                         )
+                        out.append(
+                            ("write", target, f"field{(idx + j) % 3}",
+                             ("inc", "v", 1))
+                        )
+                    return out
 
-                return body
+                return script_body(script)
 
             program.method(
                 _padded(make_private(), spec.pad, takes_lane=True), name=name
@@ -490,8 +509,12 @@ def _make_worker(
         schedules[tid] = schedule
 
     def worker(ctx, tid):
+        # the whole schedule is statically determined by (spec, tid),
+        # so the worker is a script: one lowered frame covers the
+        # invokes, the unary padding, and the array traffic
+        script: List[tuple] = []
         for it, (method, args) in enumerate(schedules[tid]):
-            yield Invoke(method, args)
+            script.append(("invoke", method, args))
             for u in range(spec.unary_ops):
                 shared_turn = (
                     not spec.disjoint
@@ -507,22 +530,25 @@ def _make_worker(
                         # grows without drowning both detectors in
                         # mutual-RMW cycles — and ``u0`` is the chain
                         # the hub's anchor read hangs off
-                        yield Write(ctx.shared[0], f"u{u % 2}", it)
+                        script.append(
+                            ("write", ctx.shared[0], f"u{u % 2}", ("const", it))
+                        )
                         continue
                     target = ctx.shared[(tid + u) % len(ctx.shared)]
                     fieldname = f"u{u % 2}"
                 else:
                     target = ctx.private[tid % len(ctx.private)]
                     fieldname = f"u{tid}"
-                value = yield Read(target, fieldname)
-                yield Write(target, fieldname, (value or 0) + 1)
+                script.append(("read", target, fieldname, "v"))
+                script.append(("write", target, fieldname, ("inc", "v", 1)))
             for a in range(spec.array_ops):
                 index = (tid * 3 + it + a) % spec.array_length
-                element = yield ArrayRead(ctx.grid, index)
-                yield ArrayWrite(ctx.grid, index, (element or 0) + 1)
+                script.append(("aread", ctx.grid, index, "e"))
+                script.append(("awrite", ctx.grid, index, ("inc", "e", 1)))
+        return script
 
     program.add_global_array("grid", spec.array_length)
-    program.method(worker, name="worker")
+    program.method(script_body(worker), name="worker")
     program.mark_entry("worker")
 
 
@@ -556,21 +582,20 @@ def _make_wait_notify(program, spec) -> None:
     boxes = program.add_global_objects("box", spec.wait_notify_pairs)
 
     def producer(ctx, index):
-        for _ in range(4):
-            yield Invoke("deposit", (index,))
-            yield Compute(2)
+        return [("invoke", "deposit", (index,)), ("compute", 2)] * 4
 
     def deposit(ctx, index):
         box = ctx.box[index]
-        yield Acquire(box)
-        count = yield Read(box, "count")
-        yield Write(box, "count", (count or 0) + 1)
-        yield Notify(box, True)
-        yield Release(box)
+        return [
+            ("acquire", box),
+            ("read", box, "count", "c"),
+            ("write", box, "count", ("inc", "c", 1)),
+            ("notify", box, True),
+            ("release", box),
+        ]
 
     def consumer(ctx, index):
-        for _ in range(4):
-            yield Invoke("withdraw", (index,))
+        return [("invoke", "withdraw", (index,))] * 4
 
     def withdraw(ctx, index):
         box = ctx.box[index]
@@ -582,9 +607,11 @@ def _make_wait_notify(program, spec) -> None:
         yield Write(box, "count", count - 1)
         yield Release(box)
 
-    program.method(producer, name="producer")
-    program.method(consumer, name="consumer")
-    program.method(deposit, name="deposit")
+    program.method(script_body(producer), name="producer")
+    program.method(script_body(consumer), name="consumer")
+    program.method(script_body(deposit), name="deposit")
+    # withdraw loops until a value read under the monitor is non-zero:
+    # data-dependent control flow, so it stays a generator
     program.method(withdraw, name="withdraw", interrupting=True)
     program.mark_entry("producer")
     program.mark_entry("consumer")
@@ -592,20 +619,22 @@ def _make_wait_notify(program, spec) -> None:
 
 def _make_main(program, spec) -> None:
     def main(ctx):
+        script: List[tuple] = []
         names = []
         for tid in range(spec.threads):
             name = f"W{tid}"
-            yield Fork(name, "worker", (tid,))
+            script.append(("fork", name, "worker", (tid,)))
             names.append(name)
         for pair in range(spec.wait_notify_pairs):
-            yield Fork(f"P{pair}", "producer", (pair,))
-            yield Fork(f"C{pair}", "consumer", (pair,))
+            script.append(("fork", f"P{pair}", "producer", (pair,)))
+            script.append(("fork", f"C{pair}", "consumer", (pair,)))
             names.extend([f"P{pair}", f"C{pair}"])
         for name in names:
-            yield Join(name)
+            script.append(("join", name))
+        return script
 
     if spec.fork_join:
-        program.method(main, name="main")
+        program.method(script_body(main), name="main")
         program.add_thread("main", "main")
     else:
         for tid in range(spec.threads):

@@ -37,20 +37,30 @@ from __future__ import annotations
 from typing import Any, Callable, List, Sequence
 
 from repro.runtime.heap import SharedObject
-from repro.runtime.ops import Acquire, Compute, Read, Release, Write
+from repro.runtime.lowering import script_body
+from repro.runtime.ops import Compute, Read, Write
 
 Body = Callable[..., Any]
+
+# Patterns whose op stream is statically known are declared as *script
+# functions* (see repro.runtime.lowering): the same tuple list drives
+# the reference generator arm and lowers to the batch executor's
+# columnar form.  Patterns with data-dependent control flow (toctou,
+# read_pair, the probing hub_scan, seeder) remain plain generators and
+# always run on the reference path.
 
 
 def split_rmw(target: SharedObject, fieldname: str = "value", gap: int = 2) -> Body:
     """Unsynchronized read-modify-write (the canonical violation)."""
 
-    def body(ctx):
-        value = yield Read(target, fieldname)
-        yield Compute(gap)
-        yield Write(target, fieldname, (value or 0) + 1)
+    def script(ctx):
+        return [
+            ("read", target, fieldname, "v"),
+            ("compute", gap),
+            ("write", target, fieldname, ("inc", "v", 1)),
+        ]
 
-    return body
+    return script_body(script)
 
 
 def toctou(flag_obj: SharedObject, state_obj: SharedObject) -> Body:
@@ -72,16 +82,18 @@ def toctou(flag_obj: SharedObject, state_obj: SharedObject) -> Body:
 def two_phase_locked(target: SharedObject, fieldname: str = "balance") -> Body:
     """Race-free but non-atomic: the lock is dropped mid-region."""
 
-    def body(ctx):
-        yield Acquire(target)
-        value = yield Read(target, fieldname)
-        yield Release(target)
-        yield Compute(2)
-        yield Acquire(target)
-        yield Write(target, fieldname, (value or 0) + 1)
-        yield Release(target)
+    def script(ctx):
+        return [
+            ("acquire", target),
+            ("read", target, fieldname, "v"),
+            ("release", target),
+            ("compute", 2),
+            ("acquire", target),
+            ("write", target, fieldname, ("inc", "v", 1)),
+            ("release", target),
+        ]
 
-    return body
+    return script_body(script)
 
 
 def read_pair(target: SharedObject, fieldname: str = "config") -> Body:
@@ -100,45 +112,49 @@ def read_pair(target: SharedObject, fieldname: str = "config") -> Body:
 def locked_rmw(target: SharedObject, fieldname: str = "value") -> Body:
     """Atomic read-modify-write under the object's monitor."""
 
-    def body(ctx):
-        yield Acquire(target)
-        value = yield Read(target, fieldname)
-        yield Write(target, fieldname, (value or 0) + 1)
-        yield Release(target)
+    def script(ctx):
+        return [
+            ("acquire", target),
+            ("read", target, fieldname, "v"),
+            ("write", target, fieldname, ("inc", "v", 1)),
+            ("release", target),
+        ]
 
-    return body
+    return script_body(script)
 
 
 def private_work(target: SharedObject, ops: int = 4) -> Body:
     """Thread-private traffic: fast-path Octet states, no dependences."""
 
-    def body(ctx):
+    def script(ctx):
+        out = []
         for i in range(ops):
-            value = yield Read(target, f"slot{i % 2}")
-            yield Write(target, f"slot{i % 2}", (value or 0) + 1)
+            out.append(("read", target, f"slot{i % 2}", "v"))
+            out.append(("write", target, f"slot{i % 2}", ("inc", "v", 1)))
+        return out
 
-    return body
+    return script_body(script)
 
 
 def shared_read(targets: Sequence[SharedObject], ops: int = 3) -> Body:
     """Read-mostly traffic over shared objects (RdSh states, fences)."""
 
-    def body(ctx):
-        total = 0
-        for i in range(ops):
-            value = yield Read(targets[i % len(targets)], "data")
-            total += value or 0
+    def script(ctx):
+        return [
+            ("read", targets[i % len(targets)], "data", None)
+            for i in range(ops)
+        ]
 
-    return body
+    return script_body(script)
 
 
 def hot_write(target: SharedObject, fieldname: str = "hot") -> Body:
     """A single write to a contended object (conflicting transitions)."""
 
-    def body(ctx):
-        yield Write(target, fieldname, 1)
+    def script(ctx):
+        return [("write", target, fieldname, ("const", 1))]
 
-    return body
+    return script_body(script)
 
 
 def long_loop(target: SharedObject, iterations: int) -> Body:
@@ -151,20 +167,22 @@ def long_loop(target: SharedObject, iterations: int) -> Body:
     data throughout.
     """
 
-    def body(ctx):
+    def script(ctx):
         shared = ctx.shared[0]
+        out = []
         for i in range(iterations):
-            value = yield Read(target, f"cell{i}")
-            yield Write(target, f"cell{i}", (value or 0) + 1)
+            out.append(("read", target, f"cell{i}", "v"))
+            out.append(("write", target, f"cell{i}", ("inc", "v", 1)))
             if i % 400 == 0:
                 # periodic progress updates on shared state: the long
                 # transaction exchanges dependences with concurrent
                 # transactions, so ICD's imprecise cycles can (and do)
                 # pull its huge log into PCD — the Section 5.1 hazard
-                progress = yield Read(shared, "progress")
-                yield Write(shared, "progress", (progress or 0) + 1)
+                out.append(("read", shared, "progress", "p"))
+                out.append(("write", shared, "progress", ("inc", "p", 1)))
+        return out
 
-    return body
+    return script_body(script)
 
 
 def hub_scan(
@@ -204,8 +222,22 @@ def hub_scan(
     With ``probe_period=0`` the pattern degenerates into a *warden*: a
     long transaction that only anchors a group's chain, keeping its
     history alive (exactly how a long-running transaction pins memory
-    in Section 5.1) without ever probing it.
+    in Section 5.1) without ever probing it.  The warden arm has no
+    data-dependent control flow, so it is declared as a script; the
+    probing arm computes its probe targets from values read at run
+    time (the cursors), so it stays a generator.
     """
+
+    if probe_period == 0:
+
+        def script(ctx):
+            out = [("read", anchor, anchor_field, None)]
+            for i in range(iterations):
+                out.append(("read", scratch, f"cell{i}", "v"))
+                out.append(("write", scratch, f"cell{i}", ("inc", "v", 1)))
+            return out
+
+        return script_body(script)
 
     def body(ctx):
         yield Read(anchor, anchor_field)
@@ -303,14 +335,16 @@ def ring_write(targets: Sequence[SharedObject], start: int) -> Body:
     xalan6's SCC-storm profile.
     """
 
-    def body(ctx):
+    def script(ctx):
         n = len(targets)
+        out = []
         for step in range(n):
             obj = targets[(start + step) % n]
-            value = yield Read(obj, "token")
-            yield Write(obj, "token", (value or 0) + 1)
+            out.append(("read", obj, "token", "v"))
+            out.append(("write", obj, "token", ("inc", "v", 1)))
+        return out
 
-    return body
+    return script_body(script)
 
 
 def field_sliced(target: SharedObject) -> Body:
@@ -324,12 +358,14 @@ def field_sliced(target: SharedObject) -> Body:
     thousands of ICD SCCs, almost no violations).
     """
 
-    def body(ctx, lane):
-        value = yield Read(target, f"slot{lane}")
-        yield Compute(1)
-        yield Write(target, f"slot{lane}", (value or 0) + 1)
+    def script(ctx, lane):
+        return [
+            ("read", target, f"slot{lane}", "v"),
+            ("compute", 1),
+            ("write", target, f"slot{lane}", ("inc", "v", 1)),
+        ]
 
-    return body
+    return script_body(script)
 
 
 PATTERN_NAMES = [

@@ -1,0 +1,165 @@
+"""Unit tests for the script-lowering pass (repro.runtime.lowering).
+
+``lower_script`` compiles a script op list into the columnar
+:class:`LoweredBody`; ``script_body`` wraps the same script into the
+reference generator arm.  These tests pin the column layout, the
+interning contracts (sites via ``intern_site``, addresses via the
+executor-wide intern table), and the reference arm's op stream.
+"""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.runtime.events import intern_site
+from repro.runtime.lowering import (
+    BATCH_ENV,
+    OP_AREAD,
+    OP_AWRITE,
+    OP_COMPUTE,
+    OP_CONTROL,
+    OP_READ,
+    OP_WRITE,
+    VAL_CONST,
+    VAL_INC,
+    batch_executor_enabled,
+    lower_script,
+    script_body,
+)
+from repro.runtime.ops import (
+    Acquire,
+    ArrayWrite,
+    Invoke,
+    Read,
+    Release,
+    Write,
+)
+from repro.runtime.program import Program
+
+
+@pytest.fixture()
+def heap():
+    program = Program("lowering-test")
+    objects = program.add_global_objects("o", 2)
+    arr = program.add_global_array("a", 3)
+    return objects, arr
+
+
+def _script(objects, arr):
+    o0, o1 = objects
+    return [
+        ("read", o0, "f0", "v"),
+        ("write", o0, "f0", ("inc", "v", 2)),
+        ("aread", arr, 1, None),
+        ("awrite", arr, 2, ("const", 9)),
+        ("compute", 3),
+        ("acquire", o1),
+        ("release", o1),
+        ("invoke", "m0", ()),
+    ]
+
+
+def test_lower_script_columns(heap):
+    objects, arr = heap
+    o0, o1 = objects
+    script = _script(objects, arr)
+    body = lower_script(script, "m", {})
+
+    assert body.length == len(script)
+    assert list(body.codes) == [
+        OP_READ, OP_WRITE, OP_AREAD, OP_AWRITE,
+        OP_COMPUTE, OP_CONTROL, OP_CONTROL, OP_CONTROL,
+    ]
+    assert list(body.oids[:4]) == [o0.oid, o0.oid, arr.oid, arr.oid]
+    assert body.objs[:4] == [o0, o0, arr, arr]
+    # array accesses synthesize "[i]" field names, like ArrayRead does
+    assert body.fields[:4] == ["f0", "f0", "[1]", "[2]"]
+    assert list(body.array_indices[:4]) == [-1, -1, 1, 2]
+    assert body.addresses[:4] == [
+        (o0.oid, "f0"), (o0.oid, "f0"), (arr.oid, "[1]"), (arr.oid, "[2]"),
+    ]
+    # register allocation: "v" is register 0, read into and inc'd from
+    assert body.dst_regs[0] == 0
+    assert body.val_modes[1] == VAL_INC
+    assert body.val_regs[1] == 0
+    assert body.val_consts[1] == 2
+    # discarded read destination
+    assert body.dst_regs[2] == -1
+    assert body.val_modes[3] == VAL_CONST
+    assert body.val_consts[3] == 9
+    assert body.nregs == 1
+    # compute cost rides in val_consts
+    assert body.val_consts[4] == 3
+    # control ops are prebuilt frozen instances
+    assert body.control_ops[5] == Acquire(o1)
+    assert body.control_ops[6] == Release(o1)
+    assert body.control_ops[7] == Invoke("m0", ())
+    assert list(body.lock_ids[5:7]) == [o1.oid, o1.oid]
+
+
+def test_lower_script_interns_sites_and_addresses(heap):
+    objects, arr = heap
+    script = _script(objects, arr)
+    addr_intern = {}
+    one = lower_script(script, "m", addr_intern)
+    two = lower_script(script, "m", addr_intern)
+
+    # sites come from the process-wide intern table shared with the
+    # reference interpreter's event construction
+    for pc in range(one.length):
+        assert one.sites[pc] is intern_site("m", pc)
+        assert one.sites[pc] is two.sites[pc]
+        assert one.site_strs[pc] == f"m@{pc}"
+    # addresses are interned executor-wide: both bodies share tuples
+    for pc in range(4):
+        assert one.addresses[pc] is two.addresses[pc]
+    # the per-body side table dedupes (two f0 accesses, one entry)
+    assert one.address_table == [
+        (objects[0].oid, "f0"), (arr.oid, "[1]"), (arr.oid, "[2]"),
+    ]
+    assert one.field_table == ["f0", "[1]", "[2]"]
+
+
+def test_lower_script_rejects_unknown_ops(heap):
+    objects, _ = heap
+    with pytest.raises(ProgramError):
+        lower_script([("jump", 3)], "m", {})
+    with pytest.raises(ProgramError):
+        lower_script(
+            [("write", objects[0], "f0", ("mul", "v", 2))], "m", {}
+        )
+
+
+def test_script_body_reference_arm_matches_script(heap):
+    objects, arr = heap
+    o0, _ = objects
+
+    def script(ctx):
+        return [
+            ("read", o0, "f0", "v"),
+            ("write", o0, "f0", ("inc", "v", 2)),
+            ("awrite", arr, 1, ("reg", "v")),
+        ]
+
+    body = script_body(script)
+    assert body._dc_script_fn is script
+
+    gen = body(None)
+    op = next(gen)
+    assert op == Read(o0, "f0")
+    op = gen.send(5)  # the read's value lands in register "v"
+    assert op == Write(o0, "f0", 7)
+    op = gen.send(None)
+    assert op == ArrayWrite(arr, 1, 5)
+    with pytest.raises(StopIteration):
+        gen.send(None)
+
+
+def test_batch_executor_enabled_env_parsing(monkeypatch):
+    monkeypatch.delenv(BATCH_ENV, raising=False)
+    assert batch_executor_enabled()
+    for value in ("0", "false", "off", " OFF "):
+        monkeypatch.setenv(BATCH_ENV, value)
+        assert not batch_executor_enabled()
+    for value in ("1", "true", "on", ""):
+        monkeypatch.setenv(BATCH_ENV, value)
+        assert batch_executor_enabled()
