@@ -49,7 +49,57 @@ BASELINES = {
     "BENCH_obs.json": ("bench_obs_overhead", 0.30),
     "BENCH_faults.json": ("bench_fault_overhead", 0.30),
     "BENCH_access.json": ("bench_access_barrier", 0.30),
+    "BENCH_sharded.json": ("bench_sharded_analysis", 0.30),
 }
+
+#: fallback tolerance for baselines discovered on disk but missing
+#: from ``BASELINES`` (gated via their embedded ``module`` field)
+DISCOVERED_TOLERANCE = 0.30
+
+
+def discover_baselines():
+    """Every committed baseline, including ones not wired into
+    ``BASELINES``.
+
+    A ``results/BENCH_*.json`` that names its regenerating benchmark in
+    a top-level ``module`` field is gated automatically (with a warning
+    that it should be added to ``BASELINES``); one that does not is
+    reported as a gate failure — a committed baseline must never
+    silently skip the gate.
+
+    Returns ``(entries, warnings, failures)`` where ``entries`` maps
+    filename -> (module_name, tolerance).
+    """
+    entries = dict(BASELINES)
+    warnings = []
+    failures = []
+    results_dir = os.path.join(BENCH_DIR, "..", "results")
+    if os.path.isdir(results_dir):
+        for filename in sorted(os.listdir(results_dir)):
+            if not (filename.startswith("BENCH_") and filename.endswith(".json")):
+                continue
+            if filename in entries:
+                continue
+            try:
+                with open(os.path.join(results_dir, filename)) as handle:
+                    module_name = json.load(handle).get("module")
+            except (OSError, ValueError) as exc:
+                failures.append(f"{filename}: unreadable baseline: {exc}")
+                continue
+            if module_name:
+                warnings.append(
+                    f"{filename}: not in BASELINES; gating via its "
+                    f"'module' field ({module_name}) — add it to "
+                    f"BASELINES in {os.path.basename(__file__)}"
+                )
+                entries[filename] = (module_name, DISCOVERED_TOLERANCE)
+            else:
+                failures.append(
+                    f"{filename}: committed baseline is not wired into the "
+                    f"gate: add it to BASELINES or embed a top-level "
+                    f"'module' field naming its benchmark module"
+                )
+    return entries, warnings, failures
 
 
 def _throughput_metrics(node, prefix=""):
@@ -98,10 +148,13 @@ def check(tolerance=None):
     Returns ``(checked, regressions, table_rows)``.
     """
     sys.path.insert(0, BENCH_DIR)
-    regressions = []
+    baselines, warnings, failures = discover_baselines()
+    for warning in warnings:
+        print(f"-- warning: {warning}")
+    regressions = list(failures)
     rows = []
     checked = 0
-    for filename, (module_name, default_tolerance) in BASELINES.items():
+    for filename, (module_name, default_tolerance) in baselines.items():
         path = os.path.join(BENCH_DIR, "..", "results", filename)
         if not os.path.exists(path):
             print(f"-- {filename}: no committed baseline, skipping")

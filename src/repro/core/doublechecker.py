@@ -132,8 +132,36 @@ class DoubleChecker:
         monitor_regular: Optional[Callable[[str], bool]] = None,
         monitor_unary: bool = True,
         monitor_unary_site: Optional[Callable[[str], bool]] = None,
+        shards: Optional[int] = None,
     ) -> SingleRunResult:
-        """Run ICD+PCD on one execution (fully sound and precise)."""
+        """Run ICD+PCD on one execution (fully sound and precise).
+
+        ``shards`` (or the ``DOUBLECHECKER_SHARDS`` environment
+        variable) > 1 partitions the analysis across that many worker
+        processes — same results, byte for byte; see
+        :mod:`repro.shard`.  Configurations the sharded pipeline cannot
+        reproduce exactly (callable filters, ICD memory budgets,
+        object-granularity arrays) silently fall back to the serial
+        path, counted by the ``shard.fallbacks`` observability counter.
+        """
+        from repro.shard import resolve_shards
+
+        n = resolve_shards(shards)
+        if n > 1:
+            from repro.obs.registry import recorder as obs_recorder
+            from repro.shard.coordinator import (
+                run_single_sharded,
+                supported_config,
+            )
+
+            if supported_config(self, monitor_regular, monitor_unary_site):
+                result, _ = run_single_sharded(
+                    self, program, scheduler, n, monitor_unary=monitor_unary
+                )
+                return result
+            obs = obs_recorder()
+            if obs.enabled:
+                obs.inc("shard.fallbacks", 1)
         violations = ViolationSummary()
         pcd = PCD(memory_budget=self.pcd_memory_budget, use_engine=self.use_engine)
 

@@ -11,6 +11,14 @@ independent (workload, checker, seed) cells across N worker processes;
 ``--jobs 0`` uses one worker per CPU.  Rendered tables are identical
 for any job count.
 
+``--shards N`` (or ``DOUBLECHECKER_SHARDS``) partitions each *single
+analysis run* across N worker processes (see :mod:`repro.shard`);
+results are byte-identical for any shard count, so sharding composes
+with ``--jobs`` (multiplicatively — each cell worker forks its own
+shard processes), with ``--checkpoint`` (a resumed run may use a
+different shard count and still renders the identical output), and
+with ``--fault-spec`` retries.
+
 Fault tolerance (see ``docs/ROBUSTNESS.md``):
 
 * ``--retries N`` retries each cell up to N times after a transient
@@ -55,6 +63,7 @@ from repro.obs import (
     write_metrics_json,
 )
 from repro.obs.registry import MetricsRegistry
+from repro.shard import SHARDS_ENV, resolve_shards
 
 EXPERIMENTS = (
     "table2",
@@ -173,6 +182,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "worker processes per single-run analysis (partitions the "
+            "(object, field) address space; results are byte-identical "
+            "for any shard count, so --checkpoint resume and "
+            "--fault-spec retries compose safely — a cell re-run with a "
+            "different shard count reproduces the same bytes; composes "
+            "multiplicatively with --jobs: each of the N cell workers "
+            "forks its own shard processes "
+            "(default: $DOUBLECHECKER_SHARDS or 1 = in-process serial)"
+        ),
+    )
+    parser.add_argument(
         "--retries",
         type=int,
         default=None,
@@ -261,6 +285,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
 
     experiments = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+
+    try:
+        shards = resolve_shards(args.shards)
+    except ValueError as exc:
+        print(f"doublechecker-experiments: error: {exc}", file=sys.stderr)
+        return 2
+    if args.shards is not None:
+        # propagate through the environment so CellPool workers (forked
+        # per --jobs) shard their runs too
+        os.environ[SHARDS_ENV] = str(shards)
 
     try:
         pool = CellPool(

@@ -518,12 +518,15 @@ class Executor:
         thread.state = state
         self._runnable_set.remove(thread.name)
         self._runnable.remove(thread.name)
+        if state is not ThreadState.FINISHED:
+            self.pipeline.on_thread_blocked(thread.name)
 
     def _unblock(self, thread: VThread) -> None:
         """Transition a blocked/waiting thread back to runnable."""
         thread.state = ThreadState.RUNNABLE
         self._runnable_set.add(thread.name)
         insort(self._runnable, thread.name)
+        self.pipeline.on_thread_unblocked(thread.name)
 
     # ------------------------------------------------------------------
     # thread lifecycle

@@ -59,6 +59,16 @@ class ExecutionListener:
         """
         return None
 
+    def on_thread_blocked(self, thread_name: str) -> None:
+        """``thread_name`` left the runnable set (lock/wait/join).
+
+        Not fired for thread completion — :meth:`on_thread_end` already
+        covers that transition.
+        """
+
+    def on_thread_unblocked(self, thread_name: str) -> None:
+        """``thread_name`` re-entered the runnable set."""
+
     def on_execution_end(self) -> None:
         """The whole program finished; flush any pending analysis work."""
 
@@ -129,6 +139,14 @@ class ListenerPipeline(ExecutionListener):
     def _fan_out_access(self, event: AccessEvent) -> None:
         for barrier in self._access_barriers:
             barrier(event)
+
+    def on_thread_blocked(self, thread_name: str) -> None:
+        for listener in self.listeners:
+            listener.on_thread_blocked(thread_name)
+
+    def on_thread_unblocked(self, thread_name: str) -> None:
+        for listener in self.listeners:
+            listener.on_thread_unblocked(thread_name)
 
     def on_execution_end(self) -> None:
         for listener in self.listeners:

@@ -1,0 +1,125 @@
+"""Capture-mode snapshots shared by the sharded pipeline and its tests.
+
+The sharded determinism tests compare a serial run and a sharded run on
+three byte-level observables: the stream of Octet transition records,
+every transaction's read/write log entry for entry, and the IDG edge
+list (endpoints, kinds, creation order, log anchors).  The serial arm
+produces these with :func:`dump_logs` / :func:`dump_edges` directly
+from its ICD; the analysis shard produces the same structures by
+stitching its mark-only stub logs together with the log shards' entry
+columns (see :mod:`repro.shard.analyzer`).  Keeping both dump formats
+in one module makes "byte-identical" a property of shared code rather
+than of two hand-synchronized serializers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.rwlog import AccessEntry
+from repro.octet.runtime import OctetListener
+
+
+class CaptureTransitionLog(OctetListener):
+    """Record every listener-visible Octet transition, fully serialized
+    (picklable tuples, so the sharded analyzer can ship them back)."""
+
+    def __init__(self) -> None:
+        self.records: List[tuple] = []
+
+    def _add(self, hook: str, record) -> None:
+        event = record.event
+        self.records.append(
+            (
+                hook,
+                record.kind.value,
+                event.seq,
+                event.obj.oid,
+                event.fieldname,
+                event.thread_name,
+                repr(record.old_state),
+                repr(record.new_state),
+                record.prior_owner,
+                record.rdsh_counter,
+            )
+        )
+
+    def on_initial(self, record) -> None:
+        self._add("initial", record)
+
+    def on_conflicting(self, record) -> None:
+        self._add("conflicting", record)
+
+    def on_upgrading_rd_sh(self, record) -> None:
+        self._add("upgrading_rd_sh", record)
+
+    def on_upgrading_wr_ex(self, record) -> None:
+        self._add("upgrading_wr_ex", record)
+
+    def on_fence(self, record) -> None:
+        self._add("fence", record)
+
+
+def dump_logs(icd) -> Dict[int, List[tuple]]:
+    """Serialize every live transaction's log in log order."""
+    out: Dict[int, List[tuple]] = {}
+    for tx in icd.tx_manager.all_transactions:
+        if tx.log is None:
+            continue
+        entries = []
+        for entry in tx.log.entries:
+            if isinstance(entry, AccessEntry):
+                entries.append(
+                    ("a", entry.kind.value, entry.oid, entry.fieldname,
+                     entry.seq, entry.site)
+                )
+            else:
+                entries.append(
+                    ("m", entry.edge_order, entry.is_source, entry.seq)
+                )
+        out[tx.tx_id] = entries
+    return out
+
+
+def dump_edges(icd) -> List[tuple]:
+    """Serialize the IDG edges of every live transaction."""
+    return sorted(
+        (edge.src.tx_id, edge.dst.tx_id, edge.kind, edge.order,
+         edge.src_log_index, edge.dst_log_index)
+        for tx in icd.tx_manager.all_transactions
+        for edge in tx.out_edges
+    )
+
+
+def stitch_log(
+    marks: List[Tuple[int, bool, int]],
+    entries: List[tuple],
+) -> List[tuple]:
+    """Merge a stub log's marks with reconstructed entry dump tuples.
+
+    ``marks`` are ``(edge_order, is_source, seq)`` in stub (= serial
+    mark) order; ``entries`` are ``("a", ...)`` dump tuples sorted by
+    seq.  In the serial log, every mark produced by an access precedes
+    the entry that same access may log (marks are appended inside the
+    Octet slow path, the entry afterwards), so ties on seq break
+    mark-first — which makes this merge reproduce serial log order
+    exactly.
+    """
+    out: List[tuple] = []
+    mi, ei = 0, 0
+    nm, ne = len(marks), len(entries)
+    while mi < nm and ei < ne:
+        if marks[mi][2] <= entries[ei][4]:
+            order, is_source, seq = marks[mi]
+            out.append(("m", order, is_source, seq))
+            mi += 1
+        else:
+            out.append(entries[ei])
+            ei += 1
+    for order, is_source, seq in marks[mi:]:
+        out.append(("m", order, is_source, seq))
+    out.extend(entries[ei:])
+    return out
+
+
+__all__ = ["CaptureTransitionLog", "dump_logs", "dump_edges", "stitch_log"]
