@@ -42,6 +42,12 @@ IDG edges, log entries, SCCs, violations) — the partition is a pure
 reorganisation; ``tests/integration/test_sharded_determinism.py``
 checks the full transition/log/edge dumps byte for byte.
 
+Each sharded arm also records a per-stage busy/stall breakdown (chunk
+decode, PCD jobs, merge vs blocking queue gets) measured by one extra
+``--obs counters`` run — the same histograms ``repro obs analyze``
+reads, committed so the pipeline's utilization profile is reviewable
+alongside its throughput.
+
 Records ``results/BENCH_sharded.json``
 (``benchmarks/check_bench_regression.py`` compares fresh runs against
 it).  Run with::
@@ -208,9 +214,54 @@ def _sharded_arm(spec, shards, reps):
         "merge_seconds": round(stats["merge_seconds"], 3),
         "stream_bytes": stats["stream_bytes"],
         "stream_records": stats["stream_records"],
+        "breakdown": _stage_breakdown(spec, shards),
     }
     row.update(_counters(result))
     return row
+
+
+def _stage_breakdown(spec, shards):
+    """Per-stage busy/stall seconds from one instrumented run.
+
+    A separate run with ``--obs counters`` (timing histograms, no event
+    buffers) so the headline arms above stay un-instrumented; the
+    children's histograms come home in their telemetry capsules.
+    Wall-clock values — descriptive, not regression-gated.
+    """
+    from repro.harness.runner import make_scheduler
+    from repro.obs.registry import MetricsRegistry, use_registry
+    from repro.shard.coordinator import run_single_sharded
+    from repro.workloads.builder import build_program
+
+    registry = MetricsRegistry("counters")
+    previous = use_registry(registry)
+    try:
+        program = build_program(spec)
+        checker = _checker(spec)
+        run_single_sharded(checker, program, make_scheduler(SEED), shards)
+    finally:
+        use_registry(previous)
+    histograms = registry.snapshot()["histograms"]
+
+    def total(name):
+        summary = histograms.get(name)
+        return round(summary["total"], 3) if summary else 0.0
+
+    return {
+        "busy_seconds": {
+            "analyzer_chunks": total("shard.analyzer.chunk.seconds"),
+            "analyzer_merge": total("shard.analyzer.merge.seconds"),
+            "logshard_chunks": total("shard.log.chunk.seconds"),
+            "pcd_jobs": total("shard.pcd.job.seconds"),
+        },
+        "stall_seconds": {
+            "analyzer_get": total("shard.stall.analyzer.get.seconds"),
+            "logshard_get": total("shard.stall.logshard.get.seconds"),
+            "coordinator_result": total(
+                "shard.stall.coordinator.result.seconds"
+            ),
+        },
+    }
 
 
 def _workload_rows(spec, reps):

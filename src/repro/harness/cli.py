@@ -40,6 +40,20 @@ Telemetry (see :mod:`repro.obs` and ``docs/OBSERVABILITY.md``):
   (implies at least ``--obs counters``).
 * ``--trace-out FILE`` writes a Chrome trace-event JSON loadable in
   Perfetto / ``chrome://tracing`` (implies ``--obs full``).
+* Under ``--shards N`` the trace is a single merged timeline: shard
+  processes inherit the run's trace id and clock epoch, ship their
+  spans back over the existing result channels, and queue hand-offs
+  appear as flow arrows (see ``docs/OBSERVABILITY.md``).
+* Flag combinations that cannot be honored — an explicit ``--obs off``
+  with ``--metrics-out``/``--trace-out``, or ``--obs counters`` with
+  ``--trace-out`` (counters mode records no events) — fail the
+  pre-flight check with exit status 2 instead of silently writing an
+  empty file.
+
+``doublechecker-experiments obs analyze TRACE [--metrics FILE]``
+delegates to :mod:`repro.obs.analyze`: a critical-path report over a
+merged trace (per-stage wall attribution, longest cross-process
+blocking chain, stall/queue/CPU tables, suggested next bottleneck).
 """
 
 from __future__ import annotations
@@ -147,6 +161,13 @@ def _check_writable_dir(path: str, flag: str) -> Optional[str]:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "obs":
+        # `doublechecker-experiments obs analyze TRACE ...` — telemetry
+        # tooling lives in its own module with its own argument parser
+        from repro.obs.analyze import main as obs_main
+
+        return obs_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="doublechecker-experiments",
         description="Regenerate the DoubleChecker paper's tables and figures.",
@@ -239,10 +260,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--obs",
         choices=(MODE_OFF, MODE_COUNTERS, MODE_FULL),
-        default=MODE_OFF,
+        default=None,
         help=(
-            "telemetry mode: counters adds analysis counters and phase "
-            "timers; full also records events for --trace-out"
+            "telemetry mode (default off): counters adds analysis "
+            "counters and phase timers; full also records events for "
+            "--trace-out"
         ),
     )
     parser.add_argument(
@@ -262,7 +284,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    mode = args.obs
+    # Explicit --obs choices that contradict an output flag fail up
+    # front (exit 2) rather than silently writing an empty file; an
+    # *omitted* --obs is still upgraded to whatever the output needs.
+    obs_conflict = None
+    if args.obs == MODE_OFF and (args.trace_out or args.metrics_out):
+        flag = "--trace-out" if args.trace_out else "--metrics-out"
+        obs_conflict = f"{flag} cannot be honored with an explicit --obs off"
+    elif args.obs == MODE_COUNTERS and args.trace_out:
+        obs_conflict = (
+            "--trace-out needs --obs full (counters mode records no "
+            "events, so the trace would be empty)"
+        )
+    if obs_conflict is not None:
+        print(
+            f"doublechecker-experiments: error: {obs_conflict}",
+            file=sys.stderr,
+        )
+        return 2
+
+    mode = args.obs if args.obs is not None else MODE_OFF
     if args.trace_out:
         mode = MODE_FULL
     elif args.metrics_out and mode == MODE_OFF:

@@ -83,6 +83,7 @@ from repro.obs.registry import (
     recorder as obs_recorder,
     use_registry,
 )
+from repro.obs.wire import aligned_epoch, trace_context
 
 #: environment variables consulted when no explicit value is given
 JOBS_ENV = "DOUBLECHECKER_JOBS"
@@ -174,8 +175,13 @@ def _init_worker() -> None:
     runner.set_cache_readonly(True)
 
 
-def _obs_cell(mode: str, fn: Callable[..., Any], args: Sequence[Any]) -> Tuple[Any, dict]:
+def _obs_cell(octx: dict, fn: Callable[..., Any], args: Sequence[Any]) -> Tuple[Any, dict]:
     """Run one cell under a fresh telemetry registry.
+
+    ``octx`` is the batch's :func:`repro.obs.wire.trace_context`: the
+    cell registry inherits the caller's trace id and epoch (aligned
+    onto this process's monotonic clock), so cells in worker processes
+    land on the same merged timeline as the parent's own spans.
 
     Returns ``(result, snapshot)``.  Both the inline path and the
     worker path route cells through this wrapper when telemetry is on,
@@ -184,7 +190,12 @@ def _obs_cell(mode: str, fn: Callable[..., Any], args: Sequence[Any]) -> Tuple[A
     analyzed execution, never from timing; see
     :meth:`repro.obs.registry.MetricsRegistry.merge`).
     """
-    registry = MetricsRegistry(mode)
+    registry = MetricsRegistry(
+        octx["mode"],
+        epoch=aligned_epoch(octx.get("epoch"), octx.get("spawn_now")),
+        trace_id=octx.get("trace_id"),
+        label="cell-worker",
+    )
     previous = use_registry(registry)
     try:
         result = fn(*args)
@@ -197,7 +208,7 @@ def _guarded_cell(
     plan: Optional[faults.FaultPlan],
     key: Optional[str],
     attempt: int,
-    mode: Optional[str],
+    octx: Optional[dict],
     fn: Callable[..., Any],
     args: Sequence[Any],
 ) -> Tuple[Any, Optional[dict]]:
@@ -208,9 +219,9 @@ def _guarded_cell(
     """
     if plan is not None:
         plan.fire(key or "", attempt, in_worker=True)
-    if mode is None:
+    if octx is None:
         return fn(*args), None
-    return _obs_cell(mode, fn, args)
+    return _obs_cell(octx, fn, args)
 
 
 @dataclass
@@ -379,7 +390,7 @@ class CellPool:
         pending: List[Tuple[Callable[..., Any], Sequence[Any]]],
         target: Any,
     ) -> List[Any]:
-        mode = target.mode if target.enabled else None
+        octx = trace_context(target)
         need_keys = self.checkpoint is not None or self.fault_plan is not None
         cells = []
         for index, (f, args) in enumerate(pending):
@@ -400,9 +411,9 @@ class CellPool:
             if round_number > 0 and self.backoff > 0:
                 time.sleep(min(self.backoff * 2 ** (round_number - 1), 2.0))
             if self._executor is None:
-                self._run_round_inline(remaining, mode, target)
+                self._run_round_inline(remaining, octx, target)
             else:
-                self._run_round_parallel(remaining, mode, target)
+                self._run_round_parallel(remaining, octx, target)
             round_number += 1
         # all-or-nothing merge, in submission order
         if target.enabled:
@@ -429,7 +440,7 @@ class CellPool:
         return False
 
     # -------------------------- inline rounds -------------------------
-    def _run_round_inline(self, remaining: List[_Cell], mode: Optional[str],
+    def _run_round_inline(self, remaining: List[_Cell], octx: Optional[dict],
                           target: Any) -> None:
         """Run every remaining cell in the parent process, retrying
         transient/injected failures on the spot."""
@@ -440,10 +451,10 @@ class CellPool:
                         self.fault_plan.fire(
                             cell.key or "", cell.attempt, in_worker=False
                         )
-                    if mode is None:
+                    if octx is None:
                         result, snapshot = cell.fn(*cell.args), None
                     else:
-                        result, snapshot = _obs_cell(mode, cell.fn, cell.args)
+                        result, snapshot = _obs_cell(octx, cell.fn, cell.args)
                 except faults.SimulatedCrash as exc:
                     target.inc("harness.worker_crashes")
                     self._retry_or_fail(cell, exc, target)
@@ -466,7 +477,7 @@ class CellPool:
 
     # ------------------------- parallel rounds ------------------------
     def _run_round_parallel(self, remaining: List[_Cell],
-                            mode: Optional[str], target: Any) -> None:
+                            octx: Optional[dict], target: Any) -> None:
         """One submit-and-collect round across worker processes.
 
         Collects as many cells as possible in submission order; a
@@ -480,7 +491,7 @@ class CellPool:
             for cell in remaining:
                 futures[cell.index] = self._executor.submit(
                     _guarded_cell, self.fault_plan, cell.key, cell.attempt,
-                    mode, cell.fn, cell.args,
+                    octx, cell.fn, cell.args,
                 )
         except BrokenProcessPool as exc:
             # earlier-submitted cells start executing while the rest of

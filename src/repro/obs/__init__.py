@@ -43,6 +43,15 @@ from repro.obs.registry import (
     use_registry,
 )
 from repro.obs.spans import Span, phase
+from repro.obs.wire import (
+    aligned_epoch,
+    child_registry,
+    merge_capsule,
+    sample_depth,
+    stalled_get,
+    telemetry_capsule,
+    trace_context,
+)
 
 __all__ = [
     "DEFAULT_BUCKETS",
@@ -55,13 +64,20 @@ __all__ = [
     "NOOP",
     "NoopRecorder",
     "Span",
+    "aligned_epoch",
+    "child_registry",
     "chrome_trace_document",
     "configure",
+    "merge_capsule",
     "metrics_document",
     "phase",
     "publish_stats",
     "recorder",
     "render_summary",
+    "sample_depth",
+    "stalled_get",
+    "telemetry_capsule",
+    "trace_context",
     "use_registry",
     "write_chrome_trace",
     "write_jsonl",

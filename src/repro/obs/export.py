@@ -4,14 +4,25 @@ The Chrome trace output follows the Trace Event Format's *complete*
 events (``"ph": "X"``, timestamps and durations in microseconds), so
 the file loads directly in ``chrome://tracing`` and in Perfetto
 (https://ui.perfetto.dev → "Open trace file").  Each worker process
-appears as its own track via its ``pid``; timestamps are relative to
-each process's registry epoch.
+appears as its own track via its ``pid`` (named from the registry's
+process labels when a distributed run recorded them); timestamps are
+relative to the run's shared epoch (see :mod:`repro.obs.wire`), and
+cross-process flow arrows (``"ph": "s"``/``"f"``) connect chunk sends
+and PCD job hand-offs between processes.
+
+Every file exporter writes **atomically** — the document is serialized
+to a temporary file in the destination directory and renamed over the
+target (the same write-then-rename discipline as
+:class:`~repro.harness.checkpoint.Checkpoint`) — so a run killed
+mid-export never leaves a truncated trace or metrics file behind.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+import os
+import tempfile
+from typing import Any, Callable, Dict, List
 
 # ----------------------------------------------------------------------
 # normalisation
@@ -23,6 +34,28 @@ def _as_snapshot(source: Any) -> Dict[str, Any]:
     return source.snapshot()
 
 
+def _atomic_write(path: str, write_body: Callable[[Any], None]) -> None:
+    """Write-then-rename: ``write_body(handle)`` fills a temp file in
+    the destination directory, which is atomically renamed over
+    ``path`` only after a successful write + flush."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=".obs-export-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            write_body(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
 # ----------------------------------------------------------------------
 # metrics JSON
 # ----------------------------------------------------------------------
@@ -32,6 +65,7 @@ def metrics_document(source: Any) -> Dict[str, Any]:
     snapshot = _as_snapshot(source)
     return {
         "mode": snapshot.get("mode"),
+        "trace_id": snapshot.get("trace_id"),
         "counters": snapshot.get("counters", {}),
         "gauges": snapshot.get("gauges", {}),
         "histograms": {
@@ -47,9 +81,13 @@ def metrics_document(source: Any) -> Dict[str, Any]:
 
 
 def write_metrics_json(path: str, source: Any) -> None:
-    with open(path, "w") as handle:
-        json.dump(metrics_document(source), handle, indent=2, sort_keys=True)
+    document = metrics_document(source)
+
+    def body(handle):
+        json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+    _atomic_write(path, body)
 
 
 # ----------------------------------------------------------------------
@@ -58,25 +96,51 @@ def write_metrics_json(path: str, source: Any) -> None:
 def write_jsonl(path: str, source: Any) -> None:
     """One JSON object per line, one line per span event."""
     snapshot = _as_snapshot(source)
-    with open(path, "w") as handle:
+
+    def body(handle):
         for event in snapshot.get("events", []):
             handle.write(json.dumps(event, sort_keys=True))
             handle.write("\n")
+
+    _atomic_write(path, body)
 
 
 # ----------------------------------------------------------------------
 # Chrome trace
 # ----------------------------------------------------------------------
 def chrome_trace_document(source: Any) -> Dict[str, Any]:
-    """Trace Event Format document for chrome://tracing / Perfetto."""
+    """Trace Event Format document for chrome://tracing / Perfetto.
+
+    Span events become complete (``"X"``) events; cross-process flow
+    ends recorded via :meth:`MetricsRegistry.emit_flow` become flow
+    (``"s"``/``"f"``) events binding by id, so chunk sends and PCD job
+    hand-offs draw arrows between process tracks.
+    """
     snapshot = _as_snapshot(source)
+    labels = snapshot.get("labels", {}) or {}
     trace_events: List[Dict[str, Any]] = []
     seen_pids = []
     for event in snapshot.get("events", []):
         pid = event.get("pid", 0)
         if pid not in seen_pids:
             seen_pids.append(pid)
-        entry: Dict[str, Any] = {
+        side = event.get("ph")
+        if side in ("s", "f"):
+            entry = {
+                "name": event["name"],
+                "cat": event.get("cat", "flow"),
+                "ph": side,
+                "ts": round(event["ts"] * 1e6, 3),
+                "id": event.get("id", 0),
+                "pid": pid,
+                "tid": pid,
+            }
+            if side == "f":
+                # bind the arrow head to the enclosing slice
+                entry["bp"] = "e"
+            trace_events.append(entry)
+            continue
+        entry = {
             "name": event["name"],
             "cat": event.get("cat", "phase"),
             "ph": "X",
@@ -95,20 +159,28 @@ def chrome_trace_document(source: Any) -> Dict[str, Any]:
             "ph": "M",
             "pid": pid,
             "tid": pid,
-            "args": {"name": f"doublechecker worker {pid}"},
+            "args": {
+                "name": labels.get(pid, labels.get(str(pid)))
+                or f"doublechecker worker {pid}"
+            },
         }
         for pid in seen_pids
     ]
     return {
         "traceEvents": metadata + trace_events,
         "displayTimeUnit": "ms",
+        "otherData": {"trace_id": snapshot.get("trace_id")},
     }
 
 
 def write_chrome_trace(path: str, source: Any) -> None:
-    with open(path, "w") as handle:
-        json.dump(chrome_trace_document(source), handle)
+    document = chrome_trace_document(source)
+
+    def body(handle):
+        json.dump(document, handle)
         handle.write("\n")
+
+    _atomic_write(path, body)
 
 
 # ----------------------------------------------------------------------

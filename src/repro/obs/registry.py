@@ -33,6 +33,7 @@ from __future__ import annotations
 import dataclasses
 import os
 import time
+import uuid
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 MODE_OFF = "off"
@@ -141,6 +142,13 @@ class NoopRecorder:
                    args: Optional[Dict[str, Any]] = None) -> None:
         return None
 
+    def emit_flow(self, name: str, ts: float, flow_id: int,
+                  side: str) -> None:
+        return None
+
+    def set_label(self, label: str) -> None:
+        return None
+
     def span(self, name: str, category: str = "phase",
              **fields: Any) -> NoopSpan:
         return _NOOP_SPAN
@@ -158,11 +166,23 @@ NOOP = NoopRecorder()
 
 
 class MetricsRegistry:
-    """A live metrics store for one process or experiment cell."""
+    """A live metrics store for one process or experiment cell.
+
+    ``epoch`` pins the perf_counter origin event timestamps are taken
+    against; child processes of a distributed run (CellPool workers,
+    shard processes) receive the run's epoch so every process's events
+    land on **one** shared timeline (see :mod:`repro.obs.wire`).
+    ``trace_id`` identifies the run the registry belongs to; children
+    inherit it so a merged trace is self-describing.  ``label`` names
+    this process's track in the exported trace.
+    """
 
     enabled = True
 
-    def __init__(self, mode: str = MODE_COUNTERS) -> None:
+    def __init__(self, mode: str = MODE_COUNTERS, *,
+                 epoch: Optional[float] = None,
+                 trace_id: Optional[str] = None,
+                 label: Optional[str] = None) -> None:
         if mode not in (MODE_COUNTERS, MODE_FULL):
             raise ValueError(
                 f"registry mode must be one of {(MODE_COUNTERS, MODE_FULL)}, "
@@ -177,8 +197,14 @@ class MetricsRegistry:
         self.events: List[Dict[str, Any]] = []
         #: perf_counter origin: event timestamps are relative to this,
         #: so every process's trace starts near zero
-        self.epoch = time.perf_counter()
+        self.epoch = time.perf_counter() if epoch is None else epoch
         self.pid = os.getpid()
+        #: run identity stamped into exported traces/metrics
+        self.trace_id = trace_id or uuid.uuid4().hex[:16]
+        #: pid -> human-readable track name for the trace exporter
+        self.labels: Dict[int, str] = {}
+        if label:
+            self.labels[self.pid] = label
 
     # ------------------------------------------------------------------
     # recording
@@ -217,6 +243,27 @@ class MetricsRegistry:
             event["args"] = args
         self.events.append(event)
 
+    def emit_flow(self, name: str, ts: float, flow_id: int,
+                  side: str) -> None:
+        """Record one end of a cross-process flow arrow (``full`` mode).
+
+        ``side`` is ``"s"`` (producer) or ``"f"`` (consumer); the two
+        ends bind by ``(name, flow_id)``.  The Chrome-trace exporter
+        turns these into trace-event flow phases so e.g. a chunk's
+        send on the coordinator visually connects to its replay on the
+        analysis shard.
+        """
+        if self.mode != MODE_FULL:
+            return
+        self.events.append({
+            "name": name, "cat": "flow", "ph": side, "ts": ts,
+            "id": flow_id, "pid": self.pid,
+        })
+
+    def set_label(self, label: str) -> None:
+        """Name this process's track in the exported trace."""
+        self.labels.setdefault(self.pid, label)
+
     def span(self, name: str, category: str = "phase", **fields: Any):
         """A timed span over this registry (see :mod:`repro.obs.spans`)."""
         from repro.obs.spans import Span
@@ -230,6 +277,8 @@ class MetricsRegistry:
         """Picklable copy of every metric, deterministically ordered."""
         return {
             "mode": self.mode,
+            "trace_id": self.trace_id,
+            "labels": dict(self.labels),
             "counters": {k: self.counters[k] for k in sorted(self.counters)},
             "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
             "histograms": {
@@ -254,6 +303,8 @@ class MetricsRegistry:
                     tuple(data["bounds"])
                 )
             histogram.merge_dict(data)
+        for pid, label in snapshot.get("labels", {}).items():
+            self.labels.setdefault(int(pid), label)
         if self.mode == MODE_FULL:
             self.events.extend(snapshot.get("events", []))
 

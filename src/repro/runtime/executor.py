@@ -52,6 +52,11 @@ from repro.runtime.threads import ThreadState, VThread
 #: default safety valve against runaway or livelocked programs
 DEFAULT_STEP_LIMIT = 5_000_000
 
+#: most ``executor.quantum`` trace events one run will emit; beyond
+#: this, quanta are still counted (``executor.context_switches``,
+#: ``executor.quantum.truncated``) but no longer individually traced
+QUANTUM_EVENT_LIMIT = 5_000
+
 
 @dataclass
 class ExecutionResult:
@@ -179,6 +184,12 @@ class Executor:
         #: [total seconds, calls] spent inside listener dispatch when
         #: access timing is enabled (``full`` mode only)
         self._dispatch_time = [0.0, 0]
+        # Quantum spans (``full`` mode only): one trace event per
+        # scheduling quantum — a contiguous run of steps on one thread.
+        # Bounded so schedulers that switch every step cannot balloon
+        # the event buffer; overflow is counted, never silent.
+        self._quantum_started = 0.0
+        self._quantum_events_left = QUANTUM_EVENT_LIMIT
 
     # ------------------------------------------------------------------
     # public API
@@ -192,6 +203,7 @@ class Executor:
             "executor.run", category="executor", program=self.program.name
         ):
             result = self._run_loop(tracked=True)
+            self._flush_quantum()
         obs.inc("executor.runs")
         obs.inc("executor.steps", result.steps)
         obs.inc("executor.accesses", result.access_count)
@@ -484,17 +496,70 @@ class Executor:
     # telemetry wrappers (installed only when a registry is active)
     # ------------------------------------------------------------------
     def _tracking_choose(self, choose):
-        """Count context switches around the scheduler's choice."""
+        """Count context switches around the scheduler's choice.
 
-        def tracked(runnable: List[str], step: int) -> str:
+        In ``full`` mode the wrapper also emits one ``executor.quantum``
+        trace event per scheduling quantum (capped at
+        :data:`QUANTUM_EVENT_LIMIT`).  All of this lives in the wrapper
+        — the batch interpreter's hot loop is untouched and stays
+        allocation-free; the untracked loop stays byte-identical to the
+        pre-telemetry one.
+        """
+        obs = self._obs
+        if obs.mode != MODE_FULL:
+
+            def tracked(runnable: List[str], step: int) -> str:
+                chosen = choose(runnable, step)
+                if chosen != self._last_chosen:
+                    if self._last_chosen is not None:
+                        self._context_switches += 1
+                    self._last_chosen = chosen
+                return chosen
+
+            return tracked
+
+        perf = time.perf_counter
+        epoch = obs.epoch
+
+        def tracked_full(runnable: List[str], step: int) -> str:
             chosen = choose(runnable, step)
-            if chosen != self._last_chosen:
-                if self._last_chosen is not None:
+            last = self._last_chosen
+            if chosen != last:
+                now = perf()
+                if last is not None:
                     self._context_switches += 1
+                    if self._quantum_events_left > 0:
+                        self._quantum_events_left -= 1
+                        obs.emit_event(
+                            "executor.quantum", "executor",
+                            ts=self._quantum_started - epoch,
+                            dur=now - self._quantum_started,
+                            args={"thread": last},
+                        )
+                    else:
+                        obs.inc("executor.quantum.truncated")
+                self._quantum_started = now
                 self._last_chosen = chosen
             return chosen
 
-        return tracked
+        return tracked_full
+
+    def _flush_quantum(self) -> None:
+        """Emit the final (still-open) quantum of a tracked full-mode
+        run — the loop only closes quanta at context switches."""
+        obs = self._obs
+        if (
+            obs.mode == MODE_FULL
+            and self._last_chosen is not None
+            and self._quantum_events_left > 0
+        ):
+            self._quantum_events_left -= 1
+            obs.emit_event(
+                "executor.quantum", "executor",
+                ts=self._quantum_started - obs.epoch,
+                dur=time.perf_counter() - self._quantum_started,
+                args={"thread": self._last_chosen},
+            )
 
     def _time_listener_dispatch(self) -> None:
         """Measure time spent inside the listener barrier (full mode)."""

@@ -39,6 +39,13 @@ from repro.core.icd import ICD
 from repro.core.pcd import PCDStats
 from repro.core.transactions import Transaction
 from repro.errors import OutOfMemoryBudget
+from repro.obs.registry import use_registry
+from repro.obs.wire import (
+    child_registry,
+    sample_depth,
+    stalled_get,
+    telemetry_capsule,
+)
 from repro.octet.states import StateKind
 from repro.runtime.events import AccessEvent, AccessKind, Site, intern_site
 from repro.runtime.view import RuntimeView
@@ -130,9 +137,16 @@ class ShardChannel:
     them, so a definition always precedes its first reference.
     """
 
-    def __init__(self, queues: List[Any]) -> None:
+    def __init__(self, queues: List[Any], obs: Any = None) -> None:
         self.queues = queues
         self.n = len(queues)
+        #: analysis shard's registry (None when telemetry is off); the
+        #: hot paths pay one is-None check when disabled
+        self.obs = obs
+        #: per log shard: chunks flushed so far — the flow-arrow id for
+        #: chunk c to shard w is ``w * 1_000_000 + c`` and both ends
+        #: derive it independently (the queues are FIFO)
+        self.wchunks = [0] * self.n
         self.bufs = [array("q") for _ in queues]
         self.defs: List[list] = [[] for _ in queues]
         self.tid_by_name: Dict[str, int] = {}
@@ -186,6 +200,14 @@ class ShardChannel:
         self.bytes_shipped += len(payload)
         self.defs_shipped += len(sent_defs)
         self.queues[widx].put(("C", sent_defs, payload))
+        obs = self.obs
+        if obs is not None:
+            obs.emit_flow(
+                "shard.wchunk", time.perf_counter() - obs.epoch,
+                widx * 1_000_000 + self.wchunks[widx], "s",
+            )
+            self.wchunks[widx] += 1
+            sample_depth(obs, "shard.queue.a2w.depth", self.queues[widx])
 
     def flush_all(self) -> None:
         for widx in range(self.n):
@@ -289,6 +311,12 @@ class ShardChannel:
             buf.append(ordinal)
             if len(buf) >= WORKER_CHUNK_INTS:
                 self.flush(widx)
+        if self.obs is not None:
+            # flow finish lands on the shard that runs the PCD job
+            self.obs.emit_flow(
+                "shard.job", time.perf_counter() - self.obs.epoch,
+                ordinal, "s",
+            )
         return ordinal
 
     def finish(self) -> None:
@@ -591,7 +619,13 @@ class ShardedICD(ICD):
 def run_analyzer(cfg: dict, q_in, worker_queues, q_result) -> None:
     """Analysis-shard main: decode, analyze, orchestrate, merge."""
     try:
-        bundle = _analyze(cfg, q_in, worker_queues)
+        obs = child_registry(cfg.get("obs"), "shard-analyzer")
+        if obs is not None:
+            # analyses capture the active recorder at construction; the
+            # counters they publish are dropped from the capsule (the
+            # coordinator reconciles them), spans/histograms ship back
+            use_registry(obs)
+        bundle = _analyze(cfg, q_in, worker_queues, obs)
         q_result.put(("A", bundle))
     except OutOfMemoryBudget as exc:
         # a deterministic analysis outcome: ship the constructor triple
@@ -608,8 +642,9 @@ def run_analyzer(cfg: dict, q_in, worker_queues, q_result) -> None:
         )
 
 
-def _analyze(cfg: dict, q_in, worker_queues) -> dict:
-    channel = ShardChannel(list(worker_queues))
+def _analyze(cfg: dict, q_in, worker_queues, obs: Any = None) -> dict:
+    run_started = time.perf_counter()
+    channel = ShardChannel(list(worker_queues), obs)
     view = MirrorView()
     capture = cfg["capture"]
 
@@ -700,12 +735,17 @@ def _analyze(cfg: dict, q_in, worker_queues) -> dict:
     worker_bundles: Dict[int, dict] = {}
     nworkers = channel.n
 
+    chunks_in = 0
     ended = False
     while not ended:
-        msg = q_in.get()
+        msg = stalled_get(q_in, obs, "shard.stall.analyzer.get.seconds")
         tag = msg[0]
         if tag == "C":
             _, defs, payload = msg
+            if obs is not None:
+                chunk_started = time.perf_counter()
+                obs.emit_flow("shard.chunk", chunk_started - obs.epoch,
+                              chunks_in, "f")
             if defs:
                 handle_defs(defs)
             arr = decode_chunk(payload)
@@ -759,6 +799,15 @@ def _analyze(cfg: dict, q_in, worker_queues) -> dict:
                 else:  # T_END
                     ended = True
                     i += 1
+            if obs is not None:
+                now = time.perf_counter()
+                obs.observe("shard.analyzer.chunk.seconds",
+                            now - chunk_started)
+                obs.emit_event("shard.analyzer.chunk", "shard",
+                               ts=chunk_started - obs.epoch,
+                               dur=now - chunk_started,
+                               args={"ordinal": chunks_in})
+                chunks_in += 1
         elif tag == "J":
             job_results[msg[1]] = (msg[2], msg[3])
         else:  # "W"
@@ -770,16 +819,24 @@ def _analyze(cfg: dict, q_in, worker_queues) -> dict:
     channel.finish()
 
     while len(worker_bundles) < nworkers:
-        msg = q_in.get()
+        msg = stalled_get(q_in, obs, "shard.stall.analyzer.get.seconds")
         tag = msg[0]
         if tag == "J":
             job_results[msg[1]] = (msg[2], msg[3])
         elif tag == "W":
             worker_bundles[msg[1]] = msg[2]
 
+    if obs is not None:
+        # the run span is emitted *before* the merge builds the
+        # telemetry capsule — anything recorded later would not ship
+        now = time.perf_counter()
+        obs.observe("shard.analyzer.run.seconds", now - run_started)
+        obs.emit_event("shard.analyzer.run", "shard",
+                       ts=run_started - obs.epoch, dur=now - run_started,
+                       args={"chunks": chunks_in, "jobs": channel.jobs_sent})
     return _merge(
         cfg, icd, channel, transitions, job_results,
-        worker_bundles, components_small, transactions_small,
+        worker_bundles, components_small, transactions_small, obs,
     )
 
 
@@ -792,6 +849,7 @@ def _merge(
     worker_bundles: Dict[int, dict],
     components_small: int,
     transactions_small: int,
+    obs: Any = None,
 ) -> dict:
     merge_started = time.perf_counter()
     nworkers = channel.n
@@ -867,6 +925,10 @@ def _merge(
             "shard.worker_defs": channel.defs_shipped,
             "shard.components": channel.jobs_sent,
             "shard.pcd_jobs": channel.jobs_sent,
+            # peer slice mesh accounting (bytes-on-wire per channel);
+            # suffix-only slicing makes both deterministic per config
+            "shard.slice_msgs": sum(w["slice_msgs"] for w in workers),
+            "shard.slice_bytes": sum(w["slice_bytes"] for w in workers),
         },
         "cpu_seconds": {
             "analyzer": time.process_time(),
@@ -876,7 +938,16 @@ def _merge(
 
     if transitions is not None:
         bundle["capture"] = _capture_bundle(icd, channel, transitions, workers)
-    bundle["merge_seconds"] = time.perf_counter() - merge_started
+    merge_seconds = time.perf_counter() - merge_started
+    bundle["merge_seconds"] = merge_seconds
+    if obs is not None:
+        obs.observe("shard.analyzer.merge.seconds", merge_seconds)
+        obs.emit_event("shard.analyzer.merge", "shard",
+                       ts=merge_started - obs.epoch, dur=merge_seconds)
+    bundle["telemetry"] = {
+        "analyzer": telemetry_capsule(obs),
+        "workers": [w.pop("telemetry", None) for w in workers],
+    }
     return bundle
 
 

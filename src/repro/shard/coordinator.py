@@ -32,7 +32,8 @@ from typing import Optional, Tuple
 
 from repro.core.reports import ViolationSummary
 from repro.errors import OutOfMemoryBudget, ReproError
-from repro.obs.registry import publish_stats, recorder as obs_recorder
+from repro.obs.registry import NOOP, publish_stats, recorder as obs_recorder
+from repro.obs.wire import merge_capsule, sample_depth, trace_context
 from repro.runtime.executor import Executor
 from repro.shard.analyzer import run_analyzer
 from repro.shard.logworker import run_worker
@@ -81,6 +82,8 @@ def run_single_sharded(
     """
     from repro.core.doublechecker import SingleRunResult
 
+    obs = obs_recorder()
+    obs.set_label("coordinator")
     cfg = {
         "spec": checker.spec,
         "shards": shards,
@@ -92,6 +95,9 @@ def run_single_sharded(
         "use_engine": checker.use_engine,
         "pcd_memory_budget": checker.pcd_memory_budget,
         "capture": capture,
+        # trace context: children inherit the run's epoch/trace id and
+        # ship their span/histogram buffers back inside the bundles
+        "obs": trace_context(obs),
     }
     nworkers = shards - 1
     ctx = mp.get_context("fork")
@@ -126,14 +132,31 @@ def run_single_sharded(
     try:
         for child in children:
             child.start()
-        recorder = ShardStreamRecorder(
-            lambda defs, payload: q_analyzer.put(("C", defs, payload))
-        )
+        if obs.enabled:
+            epoch = obs.epoch
+            chunk_ordinal = [0]
+
+            def _sink(defs, payload):
+                # flow start: binds to the analyzer's matching flow
+                # finish for the same chunk ordinal (FIFO queue)
+                obs.emit_flow("shard.chunk", time.perf_counter() - epoch,
+                              chunk_ordinal[0], "s")
+                chunk_ordinal[0] += 1
+                q_analyzer.put(("C", defs, payload))
+                sample_depth(obs, "shard.queue.c2a.depth", q_analyzer)
+
+            recorder = ShardStreamRecorder(_sink)
+        else:
+            recorder = ShardStreamRecorder(
+                lambda defs, payload: q_analyzer.put(("C", defs, payload))
+            )
         executor = Executor(program, scheduler, [recorder])
-        execution = executor.run()
+        with obs.span("shard.execute", shards=shards):
+            execution = executor.run()
         coordinator_cpu = time.process_time() - cpu_before
 
-        bundle = _await_result(q_result, children)
+        with obs.span("shard.await"):
+            bundle = _await_result(q_result, children, obs)
         elapsed = time.perf_counter() - started
     finally:
         for child in children:
@@ -156,7 +179,7 @@ def run_single_sharded(
         pcd_stats=bundle["pcd_stats"],
         elapsed_seconds=elapsed,
     )
-    _publish(recorder, bundle, shards)
+    _publish(recorder, bundle, shards, coordinator_cpu)
     if stats_out is not None:
         stats_out["cpu_seconds"] = {
             "coordinator": coordinator_cpu,
@@ -170,10 +193,11 @@ def run_single_sharded(
     return result, bundle.get("capture")
 
 
-def _await_result(q_result, children) -> dict:
+def _await_result(q_result, children, obs=NOOP) -> dict:
     """Wait for the analysis bundle, re-raising child failures."""
     import queue as queue_mod
 
+    wait_started = time.perf_counter()
     while True:
         try:
             tag, payload = q_result.get(timeout=1.0)
@@ -195,6 +219,11 @@ def _await_result(q_result, children) -> dict:
         except (EOFError, OSError) as exc:  # pragma: no cover - teardown race
             raise ShardWorkerError(f"shard result channel closed: {exc}")
         if tag == "A":
+            # time the coordinator spent blocked on the pipeline after
+            # its own execution finished (wall, so histogram-only)
+            if obs.enabled:
+                obs.observe("shard.stall.coordinator.result.seconds",
+                            time.perf_counter() - wait_started)
             return payload
         exc_name, args, tb = payload
         if exc_name == "OutOfMemoryBudget":
@@ -206,12 +235,16 @@ def _await_result(q_result, children) -> dict:
         )
 
 
-def _publish(recorder: ShardStreamRecorder, bundle: dict, shards: int) -> None:
+def _publish(recorder: ShardStreamRecorder, bundle: dict, shards: int,
+             coordinator_cpu: float = 0.0) -> None:
     """Republisher for the coordinator's observability registry.
 
     Mirrors the serial run's ``ICD.publish_metrics`` + PCD publication
-    (those ran in the children against discarded registries), then adds
-    the ``shard.*`` wire/merge counters.
+    (the children's counters/gauges are deliberately discarded — see
+    :func:`repro.obs.wire.telemetry_capsule`), adds the ``shard.*``
+    wire/merge counters, folds in the children's telemetry capsules
+    (spans + wall-clock histograms), and records the per-role CPU
+    attribution histograms the critical-path analyzer reads.
     """
     obs = obs_recorder()
     if not obs.enabled:
@@ -234,6 +267,15 @@ def _publish(recorder: ShardStreamRecorder, bundle: dict, shards: int) -> None:
     if icd_stats.engine is not None:
         icd_stats.engine.publish(obs, "icd.engine")
     publish_stats(obs, "pcd", bundle["pcd_stats"])
+    # a serial run counts one `pcd.process` span per component replay;
+    # sharded replays happen inside the log shards, whose counters are
+    # discarded with the rest of the capsule, so mirror the span count
+    # here to keep the merged counter set byte-identical with serial
+    if bundle["pcd_stats"].components_processed:
+        obs.inc(
+            "phase.pcd.process.count",
+            bundle["pcd_stats"].components_processed,
+        )
     obs.inc("shard.workers", shards)
     obs.inc("shard.stream_chunks", recorder.chunks)
     obs.inc("shard.stream_bytes", recorder.bytes_shipped)
@@ -241,9 +283,20 @@ def _publish(recorder: ShardStreamRecorder, bundle: dict, shards: int) -> None:
     obs.inc("shard.stream_defs", recorder.defs_shipped)
     for key, value in bundle["counters"].items():
         obs.inc(key, value)
-    # wall-clock, so a histogram like the phase timers — counters and
+    # wall-clock, so histograms like the phase timers — counters and
     # gauges must stay deterministic across identical runs
     obs.observe("shard.merge.seconds", bundle["merge_seconds"])
+    cpu = bundle.get("cpu_seconds", {})
+    obs.observe("shard.cpu.coordinator.seconds", coordinator_cpu)
+    if "analyzer" in cpu:
+        obs.observe("shard.cpu.analyzer.seconds", cpu["analyzer"])
+    for worker_cpu in cpu.get("workers", ()):
+        obs.observe("shard.cpu.logshard.seconds", worker_cpu)
+    # fold the children's span/histogram buffers into the run timeline
+    telemetry = bundle.get("telemetry") or {}
+    merge_capsule(obs, telemetry.get("analyzer"))
+    for capsule in telemetry.get("workers", ()):
+        merge_capsule(obs, capsule)
 
 
 __all__ = ["run_single_sharded", "supported_config", "ShardWorkerError"]

@@ -37,6 +37,13 @@ from repro.core.pcd import PCD
 from repro.core.rwlog import AccessEntry, EdgeMark, ReadWriteLog
 from repro.core.transactions import IdgEdge, Transaction
 from repro.errors import OutOfMemoryBudget
+from repro.obs.registry import use_registry
+from repro.obs.wire import (
+    child_registry,
+    sample_depth,
+    stalled_get,
+    telemetry_capsule,
+)
 from repro.runtime.events import AccessKind
 from repro.shard.wire import (
     W_EDGE,
@@ -82,12 +89,21 @@ class LogShard:
     def __init__(self, widx: int, nworkers: int, capture: bool,
                  worker_queues, q_analyzer, *,
                  pcd_memory_budget: Optional[int] = None,
-                 use_engine: bool = True) -> None:
+                 use_engine: bool = True, obs=None) -> None:
         self.widx = widx
         self.nworkers = nworkers
         self.capture = capture
         self.worker_queues = worker_queues
         self.q_analyzer = q_analyzer
+        #: this shard's registry (None when telemetry is off)
+        self.obs = obs
+        #: chunks consumed so far — the flow-arrow id for this shard's
+        #: chunk c is ``widx * 1_000_000 + c`` (matches the analyzer's
+        #: producer-side count; the queue is FIFO)
+        self.chunks_in = 0
+        # peer slice mesh accounting (deterministic: suffix counters)
+        self.slice_msgs = 0
+        self.slice_bytes = 0
 
         #: worker desc -> (kind, oid, fieldname, site_str, address)
         self.descs: Dict[int, tuple] = {}
@@ -149,6 +165,14 @@ class LogShard:
                 self.pending_specs[df[1]] = df[2]
 
     def handle_chunk(self, payload: bytes) -> None:
+        obs = self.obs
+        if obs is not None:
+            chunk_started = time.perf_counter()
+            obs.emit_flow(
+                "shard.wchunk", chunk_started - obs.epoch,
+                self.widx * 1_000_000 + self.chunks_in, "f",
+            )
+            self.chunks_in += 1
         arr = decode_chunk(payload)
         descs = self.descs
         ts_by_tid = self.ts_by_tid
@@ -224,6 +248,13 @@ class LogShard:
                         self.live -= swept
                         self.collected += swept
                 i += 2 + count
+        if obs is not None:
+            now = time.perf_counter()
+            obs.observe("shard.log.chunk.seconds", now - chunk_started)
+            obs.emit_event("shard.log.chunk", "shard",
+                           ts=chunk_started - obs.epoch,
+                           dur=now - chunk_started,
+                           args={"ordinal": self.chunks_in - 1})
 
     # ------------------------------------------------------------------
     # components
@@ -280,9 +311,15 @@ class LogShard:
                 if n > start:
                     payload[tx_id] = col[start:n].tobytes()
                     sent[tx_id] = n
+            self.slice_msgs += 1
+            for raw in payload.values():
+                self.slice_bytes += len(raw)
             self.worker_queues[assigned].put(
                 ("S", ordinal, self.widx, payload)
             )
+            if self.obs is not None:
+                sample_depth(self.obs, "shard.queue.mesh.depth",
+                             self.worker_queues[assigned])
 
     def handle_slice(self, ordinal: int, from_widx: int,
                      payload: Dict[int, bytes]) -> None:
@@ -306,8 +343,26 @@ class LogShard:
             self.done[ordinal] = True
             self.next_job += self.nworkers
 
+    def _note_job(self, ordinal: int, started: float) -> None:
+        """Record one PCD job's span + the return-channel depth."""
+        obs = self.obs
+        if obs is None:
+            return
+        now = time.perf_counter()
+        obs.observe("shard.pcd.job.seconds", now - started)
+        obs.emit_event("shard.pcd.job", "shard", ts=started - obs.epoch,
+                       dur=now - started, args={"ordinal": ordinal})
+        sample_depth(obs, "shard.queue.w2a.depth", self.q_analyzer)
+
     def _run_job(self, ordinal: int, members: list,
                  shard_slices: Dict[int, Dict[int, object]]) -> None:
+        if self.obs is not None:
+            job_started = time.perf_counter()
+            # arrow from the analyzer's job announcement to the replay
+            self.obs.emit_flow("shard.job", job_started - self.obs.epoch,
+                               ordinal, "f")
+        else:
+            job_started = 0.0
         component: List[Transaction] = []
         tx_by_id: Dict[int, Transaction] = {}
         for tx_id, thread_name, method, is_unary, _marks, _nout in members:
@@ -383,11 +438,13 @@ class LogShard:
         try:
             pairs_out = self.pcd.process_keyed(component)
         except OutOfMemoryBudget as exc:
+            self._note_job(ordinal, job_started)
             self.q_analyzer.put(
                 ("J", ordinal, "error",
                  (exc.component, exc.used, exc.budget))
             )
             return
+        self._note_job(ordinal, job_started)
         self.q_analyzer.put(("J", ordinal, "ok", pairs_out))
 
     # ------------------------------------------------------------------
@@ -417,6 +474,9 @@ class LogShard:
                 if self.capture else {}
             ),
             "cpu_seconds": time.process_time(),
+            "slice_msgs": self.slice_msgs,
+            "slice_bytes": self.slice_bytes,
+            "telemetry": telemetry_capsule(self.obs),
         }
 
 
@@ -424,13 +484,17 @@ def run_worker(cfg: dict, widx: int, q_in, worker_queues, q_analyzer,
                q_result) -> None:
     """Log-shard main loop."""
     try:
+        obs = child_registry(cfg.get("obs"), f"shard-log-{widx}")
+        if obs is not None:
+            use_registry(obs)
+            run_started = time.perf_counter()
         shard = LogShard(
             widx, cfg["shards"] - 1, cfg["capture"], worker_queues, q_analyzer,
             pcd_memory_budget=cfg["pcd_memory_budget"],
-            use_engine=cfg["use_engine"],
+            use_engine=cfg["use_engine"], obs=obs,
         )
         while not shard.finished():
-            msg = q_in.get()
+            msg = stalled_get(q_in, obs, "shard.stall.logshard.get.seconds")
             tag = msg[0]
             if tag == "C":
                 _, defs, payload = msg
@@ -444,6 +508,13 @@ def run_worker(cfg: dict, widx: int, q_in, worker_queues, q_analyzer,
             else:  # "F"
                 shard.k_total = msg[1]
                 shard.run_ready_jobs()
+        if obs is not None:
+            # emitted before final_bundle builds the telemetry capsule
+            now = time.perf_counter()
+            obs.observe("shard.log.run.seconds", now - run_started)
+            obs.emit_event("shard.log.run", "shard",
+                           ts=run_started - obs.epoch, dur=now - run_started,
+                           args={"chunks": shard.chunks_in})
         q_analyzer.put(("W", widx, shard.final_bundle()))
     except BaseException as exc:  # noqa: BLE001 - crosses a process
         q_result.put(

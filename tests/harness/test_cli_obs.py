@@ -63,7 +63,8 @@ def test_trace_out_implies_full_mode(tmp_path, capsys):
     assert code == 0
     doc = json.loads(trace_path.read_text())
     phases = {event["ph"] for event in doc["traceEvents"]}
-    assert phases == {"M", "X"}
+    # sharded runs add flow arrows ("s"/"f") between process tracks
+    assert {"M", "X"} <= phases <= {"M", "X", "s", "f"}
     names = {event["name"] for event in doc["traceEvents"]}
     assert "experiment.table3" in names
 
@@ -101,3 +102,51 @@ def test_cli_restores_previous_recorder(tmp_path):
     assert recorder() is NOOP
     main(["table3", "--names", "hedc", "--obs", "counters"])
     assert recorder() is NOOP
+
+
+# ----------------------------------------------------------------------
+# conflicting --obs / output-flag combinations fail the pre-flight
+# ----------------------------------------------------------------------
+def test_explicit_obs_off_with_trace_out_exits_2(tmp_path, capsys):
+    code = main(
+        ["table3", "--names", "hedc", "--obs", "off",
+         "--trace-out", str(tmp_path / "t.json")]
+    )
+    assert code == 2
+    captured = capsys.readouterr()
+    assert "--trace-out" in captured.err
+    assert "--obs off" in captured.err
+    # nothing ran and no output file was created
+    assert "hedc" not in captured.out
+    assert not (tmp_path / "t.json").exists()
+
+
+def test_explicit_obs_off_with_metrics_out_exits_2(tmp_path, capsys):
+    code = main(
+        ["table3", "--names", "hedc", "--obs", "off",
+         "--metrics-out", str(tmp_path / "m.json")]
+    )
+    assert code == 2
+    assert "--metrics-out" in capsys.readouterr().err
+    assert not (tmp_path / "m.json").exists()
+
+
+def test_obs_counters_with_trace_out_exits_2(tmp_path, capsys):
+    code = main(
+        ["table3", "--names", "hedc", "--obs", "counters",
+         "--trace-out", str(tmp_path / "t.json")]
+    )
+    assert code == 2
+    assert "--obs full" in capsys.readouterr().err
+    assert not (tmp_path / "t.json").exists()
+
+
+def test_obs_full_with_both_outputs_allowed(tmp_path):
+    code = main(
+        ["table3", "--names", "hedc", "--obs", "full",
+         "--metrics-out", str(tmp_path / "m.json"),
+         "--trace-out", str(tmp_path / "t.json")]
+    )
+    assert code == 0
+    assert json.loads((tmp_path / "m.json").read_text())["mode"] == "full"
+    assert (tmp_path / "t.json").exists()

@@ -1,0 +1,223 @@
+"""``repro obs analyze``: trace validation and critical-path report."""
+
+import json
+
+import pytest
+
+from repro.obs.analyze import (
+    critical_path_report,
+    main,
+    render_report,
+    validate_trace,
+)
+
+
+def _span(name, pid, ts_us, dur_us, **extra):
+    entry = {"name": name, "cat": "phase", "ph": "X",
+             "ts": ts_us, "dur": dur_us, "pid": pid, "tid": pid}
+    entry.update(extra)
+    return entry
+
+
+def _meta(pid, label):
+    return {"name": "process_name", "ph": "M", "pid": pid, "tid": pid,
+            "args": {"name": label}}
+
+
+def _flow(name, ph, ts_us, flow_id, pid):
+    entry = {"name": name, "cat": "flow", "ph": ph, "ts": ts_us,
+             "id": flow_id, "pid": pid, "tid": pid}
+    if ph == "f":
+        entry["bp"] = "e"
+    return entry
+
+
+def _synthetic_trace():
+    """Coordinator (pid 1) sends two chunks to an analyzer (pid 2),
+    which hands a PCD job to a log shard (pid 3).  Wall = 1.0s."""
+    return {
+        "traceEvents": [
+            _meta(1, "coordinator"),
+            _meta(2, "shard-analyzer"),
+            _meta(3, "shard-log-0"),
+            # coordinator: a 1.0s run containing a 0.6s execute span
+            _span("shard.execute", 1, 0, 1_000_000),
+            _span("executor.quantum", 1, 0, 600_000),
+            # analyzer: two chunks
+            _span("shard.analyzer.run", 2, 50_000, 900_000),
+            _span("shard.analyzer.chunk", 2, 100_000, 200_000),
+            _span("shard.analyzer.chunk", 2, 400_000, 100_000),
+            # log shard: one job
+            _span("shard.pcd.job", 3, 600_000, 300_000),
+            # flow arrows: chunk 0 -> job 0 forms a 2-hop chain
+            _flow("shard.chunk", "s", 10_000, 0, 1),
+            _flow("shard.chunk", "f", 100_000, 0, 2),
+            _flow("shard.chunk", "s", 350_000, 1, 1),
+            _flow("shard.chunk", "f", 400_000, 1, 2),
+            _flow("shard.job", "s", 500_000, 0, 2),
+            _flow("shard.job", "f", 600_000, 0, 3),
+        ],
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": "feedc0ffee00abcd"},
+    }
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+def test_validate_accepts_synthetic_trace():
+    assert validate_trace(_synthetic_trace()) == []
+
+
+def test_validate_rejects_non_object():
+    assert validate_trace([1, 2]) != []
+    assert validate_trace({"notTraceEvents": []}) != []
+
+
+def test_validate_rejects_malformed_events():
+    assert validate_trace({"traceEvents": [{"ph": "Q"}]}) != []
+    # X without dur
+    bad = {"traceEvents": [
+        {"name": "a", "ph": "X", "ts": 0, "pid": 1},
+    ]}
+    assert any("dur" in e for e in validate_trace(bad))
+    # flow without id
+    bad = {"traceEvents": [
+        {"name": "a", "ph": "s", "ts": 0, "pid": 1},
+    ]}
+    assert any("id" in e for e in validate_trace(bad))
+
+
+# ----------------------------------------------------------------------
+# critical-path report
+# ----------------------------------------------------------------------
+def test_report_wall_and_coverage():
+    report = critical_path_report(_synthetic_trace())
+    assert report["trace_id"] == "feedc0ffee00abcd"
+    assert report["wall_seconds"] == pytest.approx(1.0)
+    # the coordinator's 1.0s span covers the whole run
+    assert report["coverage_percent"] == pytest.approx(100.0)
+
+
+def test_report_self_time_subtracts_children():
+    report = critical_path_report(_synthetic_trace())
+    stages = {s["name"]: s for s in report["stages"]}
+    # shard.execute (1.0s) minus the nested 0.6s quantum = 0.4s self
+    assert stages["shard.execute"]["self_seconds"] == pytest.approx(0.4)
+    assert stages["executor.quantum"]["self_seconds"] == pytest.approx(0.6)
+    # analyzer run (0.9s) minus its two chunks (0.3s) = 0.6s self
+    assert stages["shard.analyzer.run"]["self_seconds"] == pytest.approx(0.6)
+    assert stages["shard.analyzer.chunk"]["self_seconds"] == pytest.approx(0.3)
+    assert stages["shard.analyzer.chunk"]["count"] == 2
+
+
+def test_report_per_process_busy():
+    report = critical_path_report(_synthetic_trace())
+    busy = {p["label"]: p["busy_seconds"] for p in report["processes"]}
+    assert busy["coordinator"] == pytest.approx(1.0)
+    assert busy["shard-analyzer"] == pytest.approx(0.9)
+    assert busy["shard-log-0"] == pytest.approx(0.3)
+
+
+def test_report_blocking_chain_crosses_processes():
+    report = critical_path_report(_synthetic_trace())
+    chain = report["blocking_chain"]
+    # chunk 0 (0.09s) -> chunk 1 (0.05s) -> job 0 (0.1s) chains in ts
+    # order; the DP picks the highest-latency compatible sequence
+    assert chain["hops"] == 3
+    assert chain["latency_seconds"] == pytest.approx(0.24)
+    assert [hop["name"] for hop in chain["path"]] == [
+        "shard.chunk", "shard.chunk", "shard.job",
+    ]
+    assert chain["path"][-1]["from_pid"] == 2
+    assert chain["path"][-1]["to_pid"] == 3
+
+
+def test_report_with_metrics_tables_and_suggestion():
+    metrics = {
+        "histograms": {
+            "shard.stall.analyzer.get.seconds":
+                {"count": 4, "total": 0.5, "min": 0.1, "max": 0.2},
+            "shard.queue.c2a.depth":
+                {"count": 2, "total": 3.0, "min": 1.0, "max": 2.0},
+            "shard.cpu.analyzer.seconds":
+                {"count": 1, "total": 0.8, "min": 0.8, "max": 0.8},
+            "unrelated.seconds":
+                {"count": 1, "total": 1.0, "min": 1.0, "max": 1.0},
+        }
+    }
+    report = critical_path_report(_synthetic_trace(), metrics)
+    assert [r["name"] for r in report["stalls"]] == [
+        "shard.stall.analyzer.get.seconds"
+    ]
+    assert [r["name"] for r in report["queues"]] == ["shard.queue.c2a.depth"]
+    assert [r["name"] for r in report["cpu"]] == ["shard.cpu.analyzer.seconds"]
+    # stall total (0.5s) exceeds 25% of wall -> suggestion flags it
+    assert "suggested next bottleneck" in report["suggestion"]
+    assert "shard.stall.analyzer.get.seconds" in report["suggestion"]
+    text = render_report(report)
+    assert "Critical path" in text
+    assert "Per-stage attribution" in text
+    assert "Longest blocking chain" in text
+
+
+def test_report_empty_trace():
+    report = critical_path_report({"traceEvents": []})
+    assert report["wall_seconds"] == 0.0
+    assert report["stages"] == []
+    assert report["blocking_chain"]["hops"] == 0
+    assert "no spans recorded" in report["suggestion"]
+    # renders without dividing by zero
+    assert "Critical path" in render_report(report)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def test_cli_text_report(tmp_path, capsys):
+    trace = _write(tmp_path, "t.json", _synthetic_trace())
+    assert main(["analyze", trace]) == 0
+    out = capsys.readouterr().out
+    assert "Critical path" in out
+    assert "suggested next bottleneck" in out
+
+
+def test_cli_json_report_with_metrics(tmp_path, capsys):
+    trace = _write(tmp_path, "t.json", _synthetic_trace())
+    metrics = _write(tmp_path, "m.json", {"histograms": {}})
+    # the leading "analyze" token is optional (python -m spelling)
+    assert main([trace, "--metrics", metrics, "--json", "--top", "2"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["trace_id"] == "feedc0ffee00abcd"
+    assert len(report["top_spans"]) == 2
+
+
+def test_cli_missing_trace_exits_2(tmp_path, capsys):
+    assert main(["analyze", str(tmp_path / "absent.json")]) == 2
+    assert "cannot read trace" in capsys.readouterr().err
+
+
+def test_cli_invalid_trace_exits_2(tmp_path, capsys):
+    trace = _write(tmp_path, "bad.json", {"traceEvents": [{"ph": "Q"}]})
+    assert main(["analyze", trace]) == 2
+    assert "schema validation" in capsys.readouterr().err
+
+
+def test_cli_unreadable_metrics_exits_2(tmp_path, capsys):
+    trace = _write(tmp_path, "t.json", _synthetic_trace())
+    assert main([trace, "--metrics", str(tmp_path / "nope.json")]) == 2
+    assert "cannot read metrics" in capsys.readouterr().err
+
+
+def test_cli_dispatch_from_experiments_entry_point(tmp_path, capsys):
+    from repro.harness.cli import main as cli_main
+
+    trace = _write(tmp_path, "t.json", _synthetic_trace())
+    assert cli_main(["obs", "analyze", trace]) == 0
+    assert "Critical path" in capsys.readouterr().out

@@ -14,7 +14,8 @@ from repro.obs.registry import MetricsRegistry, MODE_FULL
 
 
 def _sample_registry():
-    reg = MetricsRegistry(MODE_FULL)
+    # pinned trace id so two calls build snapshot-identical registries
+    reg = MetricsRegistry(MODE_FULL, trace_id="feedc0ffee000001")
     reg.inc("icd.edges", 12)
     reg.gauge_max("gc.peak", 5)
     reg.observe("phase.run.seconds", 0.25)
@@ -112,3 +113,76 @@ def test_render_summary_top_truncates():
 def test_render_summary_empty():
     reg = MetricsRegistry(MODE_FULL)
     assert "no metrics" in render_summary(reg)
+
+
+# ----------------------------------------------------------------------
+# distributed-trace features: flows, labels, trace id
+# ----------------------------------------------------------------------
+def test_chrome_trace_flow_events_pass_through():
+    reg = MetricsRegistry(MODE_FULL, trace_id="feedc0ffee000002")
+    reg.emit_event("send", "shard", ts=0.0, dur=0.010)
+    reg.emit_flow("shard.chunk", 0.002, 7, "s")
+    reg.emit_flow("shard.chunk", 0.005, 7, "f")
+    doc = chrome_trace_document(reg)
+    flows = [e for e in doc["traceEvents"] if e["ph"] in ("s", "f")]
+    assert [(e["ph"], e["id"]) for e in flows] == [("s", 7), ("f", 7)]
+    start, finish = flows
+    assert start["ts"] == 2000.0 and finish["ts"] == 5000.0
+    # the arrow head binds to the enclosing slice, the tail does not
+    assert finish["bp"] == "e" and "bp" not in start
+    assert doc["otherData"]["trace_id"] == "feedc0ffee000002"
+
+
+def test_chrome_trace_process_labels():
+    snapshot = {
+        "trace_id": "feedc0ffee000003",
+        "labels": {1: "coordinator", 2: "shard-log-0"},
+        "events": [
+            {"name": "a", "cat": "c", "ts": 0.0, "dur": 0.1, "pid": 1},
+            {"name": "b", "cat": "c", "ts": 0.0, "dur": 0.1, "pid": 2},
+            {"name": "c", "cat": "c", "ts": 0.0, "dur": 0.1, "pid": 3},
+        ],
+    }
+    doc = chrome_trace_document(snapshot)
+    names = {
+        m["pid"]: m["args"]["name"]
+        for m in doc["traceEvents"]
+        if m["ph"] == "M"
+    }
+    assert names[1] == "coordinator"
+    assert names[2] == "shard-log-0"
+    assert names[3] == "doublechecker worker 3"  # unlabeled fallback
+
+
+def test_metrics_document_carries_trace_id():
+    doc = metrics_document(_sample_registry())
+    assert doc["trace_id"] == "feedc0ffee000001"
+
+
+# ----------------------------------------------------------------------
+# atomic write-then-rename
+# ----------------------------------------------------------------------
+def test_failed_export_leaves_existing_file_intact(tmp_path):
+    path = tmp_path / "metrics.json"
+    path.write_text('{"previous": true}\n')
+    # a set is not JSON-serializable, so the dump fails mid-body
+    bad_snapshot = {"counters": {"x": {1, 2}}, "gauges": {}, "histograms": {}}
+    try:
+        write_metrics_json(str(path), bad_snapshot)
+    except TypeError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("expected the serialization to fail")
+    assert json.loads(path.read_text()) == {"previous": True}
+    # and the temp file was cleaned up, not left as litter
+    assert [p.name for p in tmp_path.iterdir()] == ["metrics.json"]
+
+
+def test_exports_leave_no_temp_litter(tmp_path):
+    reg = _sample_registry()
+    write_metrics_json(str(tmp_path / "m.json"), reg)
+    write_chrome_trace(str(tmp_path / "t.json"), reg)
+    write_jsonl(str(tmp_path / "e.jsonl"), reg)
+    assert sorted(p.name for p in tmp_path.iterdir()) == [
+        "e.jsonl", "m.json", "t.json",
+    ]
