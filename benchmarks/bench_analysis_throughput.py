@@ -113,6 +113,34 @@ def _icd_first(spec, use_engine):
     }
 
 
+def _vc(spec, sync_edges):
+    from repro.harness.runner import make_scheduler
+    from repro.spec.specification import AtomicitySpecification
+    from repro.vc.checker import VcChecker
+    from repro.workloads.builder import build_program
+
+    aspec = AtomicitySpecification.initial(build_program(spec))
+    best = None
+    for _ in range(REPS):
+        start = time.perf_counter()
+        checker = VcChecker(aspec, sync_edges=sync_edges)
+        result = checker.run(build_program(spec), make_scheduler(0))
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[0]:
+            best = (elapsed, result)
+    elapsed, result = best
+    stats = result.stats
+    return {
+        "steps_per_second": round(result.execution.steps / elapsed),
+        "edges": stats.edges,
+        "cycle_checks": stats.cycle_checks,
+        "clock_joins": stats.clock_joins,
+        "propagations": stats.propagations,
+        "cycles_found": stats.cycles_found,
+        "fastpath_hits": stats.fastpath_hits,
+    }
+
+
 def _measure():
     spec = hubstress_spec()
     return {
@@ -124,6 +152,10 @@ def _measure():
             "icd_first": {
                 "engine": _icd_first(spec, True),
                 "legacy": _icd_first(spec, False),
+            },
+            "vc": {
+                "default": _vc(spec, False),
+                "sync_edges": _vc(spec, True),
             },
         }
     }
@@ -175,6 +207,20 @@ def test_analysis_throughput():
     assert (
         icd["engine"]["steps_per_second"]
         >= icd["legacy"]["steps_per_second"] * 0.85
+    )
+
+    # vector-clock arm: with sync edges it builds Velodrome's exact
+    # graph, so the per-edge check counts must match Velodrome's; the
+    # default arm drops sync-edge work on the floor, never adds any
+    vc = rows["vc"]
+    assert vc["sync_edges"]["cycle_checks"] == velo["engine"]["cycle_checks"]
+    assert vc["default"]["edges"] <= vc["sync_edges"]["edges"]
+    assert vc["default"]["cycles_found"] <= vc["sync_edges"]["cycles_found"]
+    # the linear-time claim: no graph searches at all, so the vc arm
+    # must not be meaningfully slower than the legacy per-edge checker
+    assert (
+        vc["sync_edges"]["steps_per_second"]
+        >= velo["legacy"]["steps_per_second"] * 0.9
     )
 
 

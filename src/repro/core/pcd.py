@@ -135,48 +135,86 @@ class PCD:
         emitted_sources: Set[int] = set()
         positions = [0] * len(streams)
         merged: List[Tuple[Transaction, AccessEntry]] = []
-        remaining = sum(len(s) for s in streams)
+        total_accesses = sum(
+            1
+            for s in streams
+            for item in s
+            if not isinstance(item[1], EdgeMark)
+        )
 
         # K-way merge on a heap of (seq, stream index): every stream is
-        # in exactly one place — the heap when its head entry is ready
-        # to emit, ``parked[order]`` when its head is a sink mark still
-        # waiting for that edge's source mark, nowhere once exhausted.
-        # Readiness only changes when a source mark is emitted, so
-        # parked streams re-enter the heap exactly then; ties on seq
-        # break toward the lowest stream index, matching the reference
-        # scan order.
+        # in exactly one place — the heap when its head entry is an
+        # access ready to emit, ``parked[order]`` when its head is a
+        # sink mark still waiting for that edge's source mark, nowhere
+        # once exhausted.  Marks never enter the heap: a mark's seq is
+        # the *edge creation* time, which can sit far from the accesses
+        # around it in the log — a source mark placed after its
+        # transaction ended (or, for edges ICD attributes to a thread's
+        # *next* transaction, before the source log's first access)
+        # would otherwise hold its whole stream at a bogus heap
+        # priority and let genuinely later accesses overtake parked
+        # earlier ones, deriving dependence edges against the execution
+        # order.  Accesses preceding a source mark in its own log
+        # always have seq below the creation seq, and accesses
+        # following the sink mark always have seq above it, so emitting
+        # source marks the moment they reach a stream head preserves
+        # every mark constraint while keeping accesses in true seq
+        # order.
         heap: List[Tuple[int, int]] = []
         parked: Dict[int, List[int]] = {}
         heappush = heapq.heappush
         heappop = heapq.heappop
         append_merged = merged.append
 
-        def place(index: int) -> None:
-            pos = positions[index]
-            stream = streams[index]
-            if pos >= len(stream):
-                return
-            entry = stream[pos][1]
-            if (
-                isinstance(entry, EdgeMark)
-                and not entry.is_source
-                and entry.edge_order in constrained
-                and entry.edge_order not in emitted_sources
-            ):
-                parked.setdefault(entry.edge_order, []).append(index)
-                return
-            heappush(heap, (entry.seq, index))  # type: ignore[attr-defined]
+        def settle(index: int) -> None:
+            # consume marks at the stream head — emit source marks
+            # immediately (recursively settling any streams they
+            # release), skip satisfied sinks, park on a blocked sink —
+            # then enter the heap at the first access entry's seq
+            stack = [index]
+            while stack:
+                i = stack.pop()
+                stream = streams[i]
+                pos = positions[i]
+                length = len(stream)
+                while pos < length:
+                    entry = stream[pos][1]
+                    if not isinstance(entry, EdgeMark):
+                        heappush(heap, (entry.seq, i))  # type: ignore[attr-defined]
+                        break
+                    if entry.is_source:
+                        pos += 1
+                        order = entry.edge_order
+                        emitted_sources.add(order)
+                        released = parked.pop(order, None)
+                        if released:
+                            positions[i] = pos
+                            stack.extend(released)
+                    elif (
+                        entry.edge_order in constrained
+                        and entry.edge_order not in emitted_sources
+                    ):
+                        parked.setdefault(entry.edge_order, []).append(i)
+                        break
+                    else:
+                        pos += 1
+                positions[i] = pos
 
         for i in range(len(streams)):
-            place(i)
+            settle(i)
 
-        self.stats.entries_replayed += remaining
-        while remaining:
+        self.stats.entries_replayed += sum(len(s) for s in streams)
+        while len(merged) < total_accesses:
             if heap:
                 _, index = heappop(heap)
+                pos = positions[index]
+                append_merged(streams[index][pos])  # type: ignore[arg-type]
+                positions[index] = pos + 1
             else:
-                # inconsistent anchors should be impossible; fall back to
-                # raw sequence order rather than failing the analysis
+                # every remaining stream is parked on a sink whose
+                # source mark is unreachable; inconsistent anchors
+                # should be impossible — fall back to raw sequence
+                # order rather than failing the analysis
                 self.stats.order_fallbacks += 1
                 index = min(
                     (
@@ -190,37 +228,8 @@ class PCD:
                     if index in waiting:
                         waiting.remove(index)
                         break
-            stream = streams[index]
-            pos = positions[index]
-            item = stream[pos]
-            positions[index] = pos = pos + 1
-            remaining -= 1
-            entry = item[1]
-            if isinstance(entry, EdgeMark):
-                if entry.is_source:
-                    order = entry.edge_order
-                    emitted_sources.add(order)
-                    for waiting in parked.pop(order, ()):
-                        wpos = positions[waiting]
-                        heappush(
-                            heap,
-                            (streams[waiting][wpos][1].seq, waiting),  # type: ignore[attr-defined]
-                        )
-            else:
-                append_merged(item)  # type: ignore[arg-type]
-            # place(index), inlined: the merge pops once per entry, so
-            # the closure call would dominate the loop
-            if pos < len(stream):
-                nxt = stream[pos][1]
-                if (
-                    isinstance(nxt, EdgeMark)
-                    and not nxt.is_source
-                    and nxt.edge_order in constrained
-                    and nxt.edge_order not in emitted_sources
-                ):
-                    parked.setdefault(nxt.edge_order, []).append(index)
-                else:
-                    heappush(heap, (nxt.seq, index))  # type: ignore[attr-defined]
+                positions[index] += 1  # skip the blocked sink mark
+            settle(index)
         return merged
 
     # ------------------------------------------------------------------

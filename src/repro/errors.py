@@ -32,6 +32,20 @@ class SpecificationError(ReproError):
     """Raised for malformed atomicity specifications."""
 
 
+class TraceFormatError(ReproError):
+    """Raised when a serialized trace fails validation on load.
+
+    Names the offending line so a corrupt or truncated trace file is
+    diagnosable instead of surfacing later as an ``IndexError`` deep
+    inside replay.
+    """
+
+    def __init__(self, line_number: int, reason: str) -> None:
+        super().__init__(f"trace line {line_number}: {reason}")
+        self.line_number = line_number
+        self.reason = reason
+
+
 class ProgramError(ReproError):
     """Raised when a simulated program misuses the runtime.
 

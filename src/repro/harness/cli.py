@@ -90,6 +90,10 @@ EXPERIMENTS = (
     "second-run-variants",
 )
 
+#: backend-selection experiments — separate from EXPERIMENTS so
+#: ``all`` keeps regenerating exactly the paper's artefacts
+BACKEND_EXPERIMENTS = ("check", "crosscheck")
+
 
 def _generate(
     experiment: str,
@@ -179,8 +183,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + ("all",),
-        help="which artefact to regenerate",
+        choices=EXPERIMENTS + ("all",) + BACKEND_EXPERIMENTS,
+        help=(
+            "which artefact to regenerate; 'check' tabulates one "
+            "analysis backend's verdicts (see --backend) and "
+            "'crosscheck' validates the all-backend agreement matrix"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("icd", "velodrome", "vc"),
+        default=None,
+        help=(
+            "analysis backend for the check experiment: icd "
+            "(DoubleChecker single-run ICD+PCD, the default), "
+            "velodrome, or vc (vector-clock)"
+        ),
     )
     parser.add_argument(
         "--names",
@@ -284,6 +302,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    # --backend only steers the check experiment; anywhere else it
+    # would be silently ignored, so fail the pre-flight instead
+    if args.backend is not None and args.experiment != "check":
+        print(
+            "doublechecker-experiments: error: --backend only applies to "
+            "the check experiment",
+            file=sys.stderr,
+        )
+        return 2
+
     # Explicit --obs choices that contradict an output flag fail up
     # front (exit 2) rather than silently writing an empty file; an
     # *omitted* --obs is still upgraded to whatever the output needs.
@@ -332,6 +360,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         print(f"doublechecker-experiments: error: {exc}", file=sys.stderr)
         return 2
+    # sharded analysis partitions the ICD pipeline's address space;
+    # the velodrome/vc backends (and crosscheck, which runs them) have
+    # no sharded arm, so the combination cannot be honored
+    if shards > 1 and (
+        args.experiment == "crosscheck"
+        or (args.experiment == "check" and args.backend in ("velodrome", "vc"))
+    ):
+        what = (
+            "crosscheck"
+            if args.experiment == "crosscheck"
+            else f"--backend {args.backend}"
+        )
+        print(
+            f"doublechecker-experiments: error: --shards > 1 cannot be "
+            f"honored with {what} (sharding only supports the icd "
+            f"pipeline)",
+            file=sys.stderr,
+        )
+        return 2
     if args.shards is not None:
         # propagate through the environment so CellPool workers (forked
         # per --jobs) shard their runs too
@@ -355,11 +402,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     if mode != MODE_OFF:
         registry = MetricsRegistry(mode)
         previous = use_registry(registry)
+    crosscheck_failed = False
     try:
         with pool:
             for experiment in experiments:
                 with phase(f"experiment.{experiment}", category="experiment"):
-                    rendered = _generate(experiment, args.names, pool=pool)
+                    if experiment == "check":
+                        from repro.harness import backends
+
+                        rendered = backends.generate_check(
+                            args.backend or "icd", args.names
+                        ).render()
+                    elif experiment == "crosscheck":
+                        from repro.harness import backends
+
+                        crosscheck = backends.generate_crosscheck(args.names)
+                        rendered = crosscheck.render()
+                        crosscheck_failed = bool(crosscheck.mismatches)
+                    else:
+                        rendered = _generate(experiment, args.names, pool=pool)
                 print(rendered)
                 print()
                 if args.out:
@@ -396,6 +457,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return 2
         print(render_summary(registry))
+    if crosscheck_failed:
+        print(
+            "doublechecker-experiments: error: backend cross-validation "
+            "found disagreeing verdicts (see the agreement column)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

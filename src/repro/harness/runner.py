@@ -36,6 +36,7 @@ from repro.runtime.program import Program
 from repro.runtime.scheduler import RandomScheduler, Scheduler
 from repro.spec.refinement import RefinementResult, iterative_refinement
 from repro.spec.specification import AtomicitySpecification
+from repro.vc.checker import VcChecker, VcResult
 from repro.velodrome.checker import VelodromeChecker, VelodromeResult
 from repro.workloads import build, get_spec
 
@@ -90,6 +91,17 @@ def run_velodrome(
     name: str, spec: AtomicitySpecification, seed: int
 ) -> VelodromeResult:
     checker = VelodromeChecker(spec)
+    return checker.run(build(name), make_scheduler(seed))
+
+
+def run_vc(
+    name: str,
+    spec: AtomicitySpecification,
+    seed: int,
+    *,
+    sync_edges: bool = False,
+) -> VcResult:
+    checker = VcChecker(spec, sync_edges=sync_edges)
     return checker.run(build(name), make_scheduler(seed))
 
 
@@ -183,9 +195,9 @@ def run_cell(
 ):
     """Dispatch one (configuration, workload, seed) cell by kind.
 
-    ``kind`` is ``"baseline"``, ``"velodrome"``, ``"single"``,
-    ``"first"``, or ``"second"`` (the latter requires ``info``).
-    Experiments submit heterogeneous batches of these to a
+    ``kind`` is ``"baseline"``, ``"velodrome"``, ``"vc"``,
+    ``"single"``, ``"first"``, or ``"second"`` (the latter requires
+    ``info``).  Experiments submit heterogeneous batches of these to a
     :class:`~repro.harness.parallel.CellPool` in one go.
     """
     with phase(f"cell.{kind}", workload=name, seed=seed):
@@ -193,6 +205,8 @@ def run_cell(
             return baseline_steps(name, seed)
         if kind == "velodrome":
             return run_velodrome(name, spec, seed)
+        if kind == "vc":
+            return run_vc(name, spec, seed)
         if kind == "single":
             return run_single(name, spec, seed)
         if kind == "first":

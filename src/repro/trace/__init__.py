@@ -10,7 +10,14 @@ ExecutionListener` — including the online checkers themselves, which
 produce identical results on a replayed trace (tested).
 """
 
+from repro.errors import TraceFormatError
 from repro.trace.recorder import Trace, TraceRecorder, record_execution
 from repro.trace.replay import replay_trace
 
-__all__ = ["Trace", "TraceRecorder", "record_execution", "replay_trace"]
+__all__ = [
+    "Trace",
+    "TraceFormatError",
+    "TraceRecorder",
+    "record_execution",
+    "replay_trace",
+]

@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Tuple
 
+from repro.errors import TraceFormatError
 from repro.runtime.events import AccessEvent
 from repro.runtime.executor import Executor
 from repro.runtime.listeners import ExecutionListener
@@ -14,6 +17,9 @@ from repro.runtime.scheduler import Scheduler
 
 #: trace record kinds
 ACCESS, ENTER, EXIT, START, END = "a", "m+", "m-", "t+", "t-"
+
+#: required record length per kind (see :class:`Trace`)
+_RECORD_ARITY = {ACCESS: 11, ENTER: 4, EXIT: 4, START: 2, END: 2}
 
 
 @dataclass
@@ -41,16 +47,56 @@ class Trace:
 
     @classmethod
     def from_jsonl(cls, text: str) -> "Trace":
-        records = [
-            tuple(json.loads(line))
-            for line in text.splitlines()
-            if line.strip()
-        ]
+        """Parse and validate, raising :class:`TraceFormatError` (with
+        the 1-based line number) on the first corrupt line."""
+        records = []
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise TraceFormatError(line_number, f"not valid JSON ({exc})")
+            if not isinstance(record, list) or not record:
+                raise TraceFormatError(
+                    line_number, "record is not a non-empty JSON array"
+                )
+            kind = record[0]
+            arity = _RECORD_ARITY.get(kind)
+            if arity is None:
+                raise TraceFormatError(
+                    line_number,
+                    f"unknown record kind {kind!r} (expected one of "
+                    f"{sorted(_RECORD_ARITY)})",
+                )
+            if len(record) != arity:
+                raise TraceFormatError(
+                    line_number,
+                    f"{kind!r} record has {len(record)} fields, expected "
+                    f"{arity}",
+                )
+            records.append(tuple(record))
         return cls(records)
 
     def save(self, path: str) -> None:
-        with open(path, "w") as handle:
-            handle.write(self.to_jsonl() + "\n")
+        """Atomic write-then-rename: a failed save can never truncate
+        an existing trace file (same pattern as the obs exporters)."""
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".trace-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(self.to_jsonl() + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: str) -> "Trace":

@@ -145,6 +145,38 @@ class TestReplayOrdering:
         assert pcd.process([a, b]) == []
         assert pcd.stats.pdg_edges == 1
 
+    def test_late_created_marks_never_reorder_accesses(self):
+        """Edge marks created long after the source transaction's
+        accesses (or attributed by ICD to a thread's *next* transaction,
+        whose log starts later) must not hold their stream in the heap
+        at the creation seq: a trailing source mark with a large seq
+        used to block its whole stream — including a second source mark
+        another stream was parked on — letting a third stream's later
+        accesses overtake the parked earlier ones, deriving a phantom
+        backwards dependence and a false-positive cycle."""
+        x1 = make_tx(1, "TX")  # writes f early
+        x2 = make_tx(2, "TX")  # ICD attributes a later edge to it
+        y = make_tx(3, "TY")   # reads then writes f in the middle
+        z = make_tx(4, "TZ")   # writes f last
+        log(x1, W, 1, "f", 10)
+        log(y, R, 1, "f", 20)
+        # an edge attributed to TX's *next* transaction: its source
+        # mark opens x2's (still empty) log, its sink parks TY's
+        # stream before the seq-28 write
+        link(x2, y, 27)
+        log(y, W, 1, "f", 28)
+        log(z, W, 1, "f", 45)
+        # a late edge anchored at the END of x1's log with seq 51: the
+        # TX stream must emit it before reaching x2's source mark, so
+        # the old heap held TX at priority 51 while TZ's seq-45 write
+        # overtook TY's parked seq-28 write
+        link(x1, z, 51)
+        pcd = PCD()
+        violations = pcd.process([x1, x2, y, z])
+        # true access order 10 < 20 < 28 < 45 is acyclic: x1->y->z
+        assert violations == []
+        assert pcd.stats.order_fallbacks == 0
+
 
 class TestInputHandling:
     def test_components_smaller_than_two_skipped(self):

@@ -15,7 +15,7 @@ over the *entire* execution in true order, then runs an off-the-shelf
 SCC computation (networkx) over cross-thread plus program-order edges.
 """
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 import networkx as nx
 
@@ -29,6 +29,7 @@ from repro.runtime.ops import Acquire, Compute, Invoke, Read, Release, Write
 from repro.runtime.program import Program
 from repro.runtime.scheduler import RandomScheduler
 from repro.spec.specification import AtomicitySpecification
+from repro.vc.checker import VcChecker
 from repro.velodrome.checker import VelodromeChecker
 
 # ----------------------------------------------------------------------
@@ -178,7 +179,27 @@ def test_icd_sccs_are_supersets_of_precise_cycles(case):
         ), f"precise cycle {cycle} not covered by any ICD SCC {components}"
 
 
+#: regression examples for the PCD log-merge ordering bug: edge marks
+#: created after the source transaction ended (or attributed by ICD to
+#: a thread's *next* transaction) used to enter the merge heap at their
+#: creation seq, letting later accesses overtake parked earlier ones
+#: and deriving a phantom backwards dependence edge — a false positive
+#: on a lock-protected read-modify-write program with no precise cycle
+_MERGE_REGRESSION_1 = (
+    [[(2, 0, 1), (0, 0, 0), (0, 0, 0), (0, 1, 0)]],
+    [[0, 0, 0], [0, 0, 0], [0]],
+    1050,
+)
+_MERGE_REGRESSION_2 = (
+    [[(2, 0, 0), (0, 0, 0), (0, 0, 0), (0, 1, 0)]],
+    [[0, 0, 0], [0, 0, 0], [0]],
+    1050,
+)
+
+
 @given(program_strategy)
+@example(_MERGE_REGRESSION_1)
+@example(_MERGE_REGRESSION_2)
 @settings(max_examples=60, deadline=None)
 def test_single_run_sound_and_precise_vs_oracle(case):
     method_specs, thread_scripts, seed = case
@@ -187,6 +208,8 @@ def test_single_run_sound_and_precise_vs_oracle(case):
 
 
 @given(program_strategy)
+@example(_MERGE_REGRESSION_1)
+@example(_MERGE_REGRESSION_2)
 @settings(max_examples=60, deadline=None)
 def test_single_run_agrees_with_velodrome(case):
     """Both sound+precise checkers agree with the oracle's verdict.
@@ -219,6 +242,36 @@ def test_single_run_agrees_with_velodrome(case):
         assert any(
             set(record.cycle_tx_ids) <= scc for record in violations.records
         ), (scc, [r.cycle_tx_ids for r in violations.records])
+
+
+@given(program_strategy)
+@settings(max_examples=40, deadline=None)
+def test_vector_clock_agrees_with_oracle_and_velodrome(case):
+    """The vc backend's two arms each track an existing referee: the
+    default arm shares the oracle's design point (data-conflict edges
+    only, no synchronization edges), and the ``sync_edges`` arm builds
+    Velodrome's exact graph — so each must reproduce its referee's
+    boolean verdict, and the sync arm must perform exactly Velodrome's
+    per-edge cycle checks."""
+    method_specs, thread_scripts, seed = case
+    _, _, oracle, velodrome, _ = run_all(method_specs, thread_scripts, seed)
+
+    def run_vc(sync_edges):
+        program = materialize(method_specs, thread_scripts)
+        checker = VcChecker(
+            AtomicitySpecification.initial(program),
+            sync_edges=sync_edges,
+            gc_interval=None,
+        )
+        return checker.run(
+            program, RandomScheduler(seed=seed, switch_prob=0.7)
+        )
+
+    vc = run_vc(False)
+    vc_sync = run_vc(True)
+    assert bool(vc.violations) == bool(oracle)
+    assert bool(vc_sync.violations) == bool(velodrome.violations)
+    assert vc_sync.stats.cycle_checks == velodrome.stats.cycle_checks
 
 
 @given(program_strategy)

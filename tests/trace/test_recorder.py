@@ -1,5 +1,10 @@
 """Trace recording and serialization."""
 
+import os
+
+import pytest
+
+from repro.errors import TraceFormatError
 from repro.runtime.scheduler import RandomScheduler
 from repro.trace.recorder import ACCESS, Trace, record_execution
 
@@ -49,3 +54,75 @@ def test_access_records_carry_field_identity():
     accesses = [r for r in trace.records if r[0] == ACCESS]
     fields = {r[5] for r in accesses}
     assert "value" in fields
+
+
+def test_catalog_round_trip():
+    """Save/load identity over recorded catalog runs (real workloads
+    exercise sync pseudo-accesses and fork/join records too)."""
+    from repro.workloads.catalog import build
+
+    for name in ("hedc", "philo"):
+        trace = record_execution(build(name), RandomScheduler(seed=7))
+        restored = Trace.from_jsonl(trace.to_jsonl())
+        assert restored.records == trace.records
+
+
+class TestCorruptLineRejection:
+    def test_invalid_json(self):
+        with pytest.raises(TraceFormatError, match="line 2"):
+            Trace.from_jsonl('["t+", "A"]\n{not json')
+
+    def test_non_array_record(self):
+        with pytest.raises(TraceFormatError, match="line 1"):
+            Trace.from_jsonl('{"kind": "a"}')
+
+    def test_unknown_kind(self):
+        with pytest.raises(TraceFormatError, match="unknown record kind"):
+            Trace.from_jsonl('["zz", 1, 2]')
+
+    def test_truncated_access_record(self):
+        trace = record_execution(
+            counter_program(threads=2, iterations=2), RandomScheduler(seed=4)
+        )
+        lines = trace.to_jsonl().splitlines()
+        index = next(i for i, l in enumerate(lines) if l.startswith('["a"'))
+        lines[index] = lines[index].rsplit(",", 1)[0] + "]"
+        with pytest.raises(TraceFormatError, match=f"line {index + 1}"):
+            Trace.from_jsonl("\n".join(lines))
+
+    def test_wrong_method_record_arity(self):
+        with pytest.raises(TraceFormatError, match="expected 4"):
+            Trace.from_jsonl('["m+", "A", "worker"]')
+
+    def test_load_names_line_number(self, tmp_path):
+        path = tmp_path / "bad.trace.jsonl"
+        path.write_text('["t+", "A"]\n["a", 1]\n')
+        with pytest.raises(TraceFormatError) as excinfo:
+            Trace.load(str(path))
+        assert excinfo.value.line_number == 2
+
+
+class TestAtomicSave:
+    def test_failed_save_preserves_existing_file(self, tmp_path, monkeypatch):
+        trace = record_execution(
+            counter_program(threads=2, iterations=2), RandomScheduler(seed=5)
+        )
+        path = tmp_path / "run.trace.jsonl"
+        trace.save(str(path))
+        original = path.read_text()
+
+        def boom(self):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(Trace, "to_jsonl", boom)
+        with pytest.raises(OSError):
+            trace.save(str(path))
+        assert path.read_text() == original
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        trace = record_execution(
+            counter_program(threads=1, iterations=1), RandomScheduler(seed=6)
+        )
+        path = tmp_path / "run.trace.jsonl"
+        trace.save(str(path))
+        assert os.listdir(tmp_path) == ["run.trace.jsonl"]
