@@ -18,6 +18,17 @@ Topology (``N = shards`` worker processes)::
                                    │ job results, stat shares
                                    └── log shards (peer slice mesh)
 
+With ``--analysis-shards A > 1`` the analysis shard itself splits into
+``A`` partition workers plus one exchange owner (see
+:mod:`repro.shard.partition` and :mod:`repro.shard.exchange`)::
+
+    coordinator ──per-partition records──▶ analysis worker 0..A-1
+        (executor)                               │ forwarded records
+                                                 ▼ (k-way seq merge)
+             log shard 1..N-1 ◀──records──  exchange owner (Octet+ICD)
+                  ▲ absorbed records (drained at W_ADVANCE barriers)
+                  └────────── analysis workers (direct)
+
 Every child is a forked daemon; the coordinator polls the result queue
 with a liveness check so a crashed child surfaces as an error instead
 of a hang, and analysis-side exceptions (including the deterministic
@@ -36,7 +47,9 @@ from repro.obs.registry import NOOP, publish_stats, recorder as obs_recorder
 from repro.obs.wire import merge_capsule, sample_depth, trace_context
 from repro.runtime.executor import Executor
 from repro.shard.analyzer import run_analyzer
+from repro.shard.exchange import run_exchange
 from repro.shard.logworker import run_worker
+from repro.shard.partition import run_partition
 from repro.shard.recorder import ShardStreamRecorder
 
 
@@ -44,22 +57,35 @@ class ShardWorkerError(ReproError):
     """A shard process failed with a non-analysis error."""
 
 
-def supported_config(checker, monitor_regular, monitor_unary_site) -> bool:
-    """Can this configuration run sharded with byte-identical results?
+def unsupported_features(checker, monitor_regular,
+                         monitor_unary_site) -> Tuple[str, ...]:
+    """Which features of this configuration keep it off the sharded path?
 
     Callables can't cross the process boundary (``monitor_regular`` /
     ``monitor_unary_site``), the ICD memory budget is defined over one
     process's footprint, and object-granularity arrays change the
-    address space the partition is defined over.  Unsupported configs
-    silently fall back to the serial path (counted by the
-    ``shard.fallbacks`` observability counter).
+    address space the partition is defined over.  Returns a tuple of
+    feature names, empty when the configuration can run sharded with
+    byte-identical results; the caller records one
+    ``shard.fallback.<name>`` counter per entry plus a single
+    ``shard.fallbacks`` increment for the run.
     """
-    return (
-        monitor_regular is None
-        and monitor_unary_site is None
-        and checker.icd_memory_budget is None
-        and not checker.array_granularity_object
-    )
+    missing = []
+    if monitor_regular is not None:
+        missing.append("monitor_regular")
+    if monitor_unary_site is not None:
+        missing.append("monitor_unary_site")
+    if checker.icd_memory_budget is not None:
+        missing.append("icd_memory_budget")
+    if checker.array_granularity_object:
+        missing.append("array_granularity_object")
+    return tuple(missing)
+
+
+def supported_config(checker, monitor_regular, monitor_unary_site) -> bool:
+    """Can this configuration run sharded with byte-identical results?"""
+    return not unsupported_features(checker, monitor_regular,
+                                    monitor_unary_site)
 
 
 def run_single_sharded(
@@ -68,6 +94,7 @@ def run_single_sharded(
     scheduler,
     shards: int,
     *,
+    analysis_shards: int = 1,
     monitor_unary: bool = True,
     capture: bool = False,
     stats_out: Optional[dict] = None,
@@ -79,6 +106,9 @@ def run_single_sharded(
     ``None`` unless ``capture=True``.  ``stats_out``, if given, is
     filled with per-role CPU seconds and wire counters (the sharded
     benchmark reads these to compute the pipeline critical path).
+    ``analysis_shards > 1`` splits the analysis shard into that many
+    partition workers plus an exchange owner (the partitioned analysis
+    plane); results stay byte-identical at any shard count.
     """
     from repro.core.doublechecker import SingleRunResult
 
@@ -87,6 +117,7 @@ def run_single_sharded(
     cfg = {
         "spec": checker.spec,
         "shards": shards,
+        "analysis_shards": analysis_shards,
         "monitor_unary": monitor_unary,
         "instrument_arrays": checker.instrument_arrays,
         "cycle_detection": checker.cycle_detection,
@@ -104,24 +135,52 @@ def run_single_sharded(
     # mp.Queue (feeder-thread buffered) everywhere: a synchronous pipe
     # (SimpleQueue) can deadlock the peer slice mesh — two log shards
     # sending each other slices block on full pipes simultaneously
-    q_analyzer = ctx.Queue()
     worker_queues = [ctx.Queue() for _ in range(nworkers)]
     q_result = ctx.Queue()
 
-    children = [
-        ctx.Process(
-            target=run_analyzer,
-            args=(cfg, q_analyzer, worker_queues, q_result),
-            name="shard-analyzer",
-            daemon=True,
+    children = []
+    if analysis_shards > 1:
+        # partitioned analysis plane: A partition workers feed one
+        # exchange owner; the log shards' feedback (job results, stat
+        # shares) flows to the owner
+        q_parts = [ctx.Queue() for _ in range(analysis_shards)]
+        q_exchange = ctx.Queue()
+        q_feedback = q_exchange
+        children.append(
+            ctx.Process(
+                target=run_exchange,
+                args=(cfg, q_exchange, worker_queues, q_result),
+                name="shard-exchange",
+                daemon=True,
+            )
         )
-    ]
+        for aidx in range(analysis_shards):
+            children.append(
+                ctx.Process(
+                    target=run_partition,
+                    args=(cfg, aidx, q_parts[aidx], q_exchange,
+                          worker_queues, q_parts),
+                    name=f"shard-analysis-{aidx}",
+                    daemon=True,
+                )
+            )
+    else:
+        q_analyzer = ctx.Queue()
+        q_feedback = q_analyzer
+        children.append(
+            ctx.Process(
+                target=run_analyzer,
+                args=(cfg, q_analyzer, worker_queues, q_result),
+                name="shard-analyzer",
+                daemon=True,
+            )
+        )
     for widx in range(nworkers):
         children.append(
             ctx.Process(
                 target=run_worker,
                 args=(cfg, widx, worker_queues[widx], worker_queues,
-                      q_analyzer, q_result),
+                      q_feedback, q_result),
                 name=f"shard-log-{widx}",
                 daemon=True,
             )
@@ -132,7 +191,33 @@ def run_single_sharded(
     try:
         for child in children:
             child.start()
-        if obs.enabled:
+        if analysis_shards > 1:
+            if obs.enabled:
+                epoch = obs.epoch
+                part_ordinals = [0] * analysis_shards
+
+                def _sink_fanout(part, defs, payload, stamp):
+                    # flow start: binds to partition worker `part`'s
+                    # matching finish (FIFO queue, per-worker ordinal
+                    # in the wchunk id convention)
+                    obs.emit_flow("shard.chunk",
+                                  time.perf_counter() - epoch,
+                                  part * 1_000_000 + part_ordinals[part],
+                                  "s")
+                    part_ordinals[part] += 1
+                    q_parts[part].put(("C", defs, payload, stamp))
+                    sample_depth(obs, "shard.queue.c2p.depth",
+                                 q_parts[part])
+
+            else:
+
+                def _sink_fanout(part, defs, payload, stamp):
+                    q_parts[part].put(("C", defs, payload, stamp))
+
+            recorder = ShardStreamRecorder(
+                _sink_fanout, partitions=analysis_shards
+            )
+        elif obs.enabled:
             epoch = obs.epoch
             chunk_ordinal = [0]
 
@@ -292,11 +377,22 @@ def _publish(recorder: ShardStreamRecorder, bundle: dict, shards: int,
         obs.observe("shard.cpu.analyzer.seconds", cpu["analyzer"])
     for worker_cpu in cpu.get("workers", ()):
         obs.observe("shard.cpu.logshard.seconds", worker_cpu)
+    # partitioned analysis plane: one sample per partition worker (the
+    # "analyzer" sample above is the exchange owner in this topology)
+    for analysis_cpu in cpu.get("analysis", ()):
+        obs.observe("shard.cpu.analysis.seconds", analysis_cpu)
     # fold the children's span/histogram buffers into the run timeline
     telemetry = bundle.get("telemetry") or {}
     merge_capsule(obs, telemetry.get("analyzer"))
     for capsule in telemetry.get("workers", ()):
         merge_capsule(obs, capsule)
+    for capsule in telemetry.get("analysis", ()):
+        merge_capsule(obs, capsule)
 
 
-__all__ = ["run_single_sharded", "supported_config", "ShardWorkerError"]
+__all__ = [
+    "run_single_sharded",
+    "supported_config",
+    "unsupported_features",
+    "ShardWorkerError",
+]

@@ -1,0 +1,469 @@
+"""The exchange owner of the partitioned analysis plane.
+
+Folds the partition workers' forwarded streams back into one global
+stream and replays it through the unmodified :class:`ShardedICD` —
+Octet, transaction demarcation, IDG construction, SCC detection and GC
+all behave exactly as on the single analysis shard, because the owner
+sees exactly the records the serial pipeline's slow paths would see,
+in exactly the serial order.
+
+Two pieces make that true:
+
+* :class:`ExchangeMerger` — a k-way merge over the ``A`` forwarded
+  streams.  Access records are keyed ``(seq, 0)``; lifecycle records
+  (worker 0's stream only) are keyed ``(stamp, 1)`` by their trailing
+  stamp, which the recorder defined as the last access seq before
+  them, so they sort exactly where they happened.  A record is
+  dispatchable once every other stream either shows a later head or
+  has advanced its watermark past the record's key; watermarks arrive
+  with every flush, and the workers flush in lockstep with the
+  coordinator's fan-out, so the merge never stalls.
+
+* :class:`ExchangeChannel` — the log-shard fan-out extended with
+  ``W_ADVANCE`` barriers.  Before dispatching a merged record the
+  owner stamps each log-shard buffer with the record's position;
+  the log shard blocks there until every partition worker's absorbed
+  stream has caught up and drains those records (all with smaller
+  seqs) first.  Everything the dispatch then emits — log records,
+  transaction starts, edges, sweeps, job sentinels — lands after the
+  barrier, so each log shard reconstructs the byte-exact serial
+  stream, and the ``W_JOB`` position *is* still the log cutoff.
+  Consecutive barriers with no emission in between coalesce in place.
+
+The owner finishes like the single analyzer: merge worker tallies and
+desc tables, orchestrate the PCD jobs, and hand the coordinator a
+bundle byte-identical to the serial run's.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import OutOfMemoryBudget
+from repro.obs.registry import use_registry
+from repro.obs.wire import child_registry, stalled_get
+from repro.runtime.events import AccessEvent, AccessKind, intern_site
+from repro.shard.analyzer import (
+    LiteObj,
+    MirrorView,
+    ShardChannel,
+    ShardedICD,
+    _merge,
+)
+from repro.shard.snapshot import CaptureTransitionLog
+from repro.shard.wire import (
+    STAMP_INF,
+    T_BLOCK,
+    T_END,
+    T_ENTER,
+    T_EVENT,
+    T_EXIT,
+    T_TEND,
+    T_TSTART,
+    W_ADVANCE,
+    WORKER_CHUNK_INTS,
+    decode_chunk,
+)
+
+
+class ExchangeChannel(ShardChannel):
+    """Log-shard fan-out with ``W_ADVANCE`` drain barriers.
+
+    Descriptors are minted from the owner's strided lane (base 0, step
+    ``analysis_shards + 1``) so they never collide with the partition
+    workers' lanes; the workers' ``desc_meta`` tables are merged into
+    this channel's before capture stitching.
+    """
+
+    def __init__(self, queues, obs=None, *, analysis_shards: int) -> None:
+        super().__init__(queues, obs,
+                         desc_base=0, desc_stride=analysis_shards + 1)
+        #: per log shard: buffer length right after the last W_ADVANCE
+        #: (-1 = none since the last flush) — equal lengths mean nothing
+        #: was emitted since, so the barrier coalesces in place
+        self.adv_pos = [-1] * self.n
+        self.advances = 0
+
+    def advance(self, stamp: int) -> None:
+        adv_pos = self.adv_pos
+        for widx, buf in enumerate(self.bufs):
+            if adv_pos[widx] == len(buf):
+                buf[-1] = stamp
+            else:
+                buf.append(W_ADVANCE)
+                buf.append(stamp)
+                adv_pos[widx] = len(buf)
+                self.advances += 1
+                if len(buf) >= WORKER_CHUNK_INTS:
+                    self.flush(widx)
+
+    def flush(self, widx: int) -> None:
+        super().flush(widx)
+        self.adv_pos[widx] = -1
+
+
+class ExchangeMerger:
+    """K-way merge of the partition workers' forwarded streams.
+
+    ``push`` decodes one ``X`` chunk into the stream's pending deque
+    and raises its watermark bound; ``drain`` yields every record that
+    is now globally next.  Keys are ``(seq, 0)`` for accesses and
+    ``(stamp, 1)`` for lifecycle records (stream 0 only); a stream
+    whose watermark is ``w`` can still produce lifecycle records
+    stamped ``w`` but no access with seq ``<= w``, hence the
+    asymmetric bounds.
+    """
+
+    def __init__(self, nstreams: int) -> None:
+        self.n = nstreams
+        self.pending: List[deque] = [deque() for _ in range(nstreams)]
+        self.bounds: List[Tuple[int, int]] = [(0, 0)] * nstreams
+
+    def push(self, aidx: int, payload: bytes, watermark: int) -> None:
+        arr = decode_chunk(payload)
+        q = self.pending[aidx]
+        append = q.append
+        i = 0
+        n = len(arr)
+        while i < n:
+            v = arr[i]
+            if v >= 0:
+                append(((arr[i + 1], 0), (v, arr[i + 1], arr[i + 2])))
+                i += 3
+            elif v == T_EVENT:
+                append(((arr[i + 2], 0),
+                        (v, arr[i + 1], arr[i + 2], arr[i + 3])))
+                i += 4
+            elif v == T_ENTER or v == T_EXIT:
+                append(((arr[i + 4], 1), tuple(arr[i:i + 5])))
+                i += 5
+            elif v == T_TSTART or v == T_TEND:
+                append(((arr[i + 2], 1), tuple(arr[i:i + 3])))
+                i += 3
+            elif v == T_BLOCK:
+                append(((arr[i + 3], 1), tuple(arr[i:i + 4])))
+                i += 4
+            else:  # T_END
+                append(((arr[i + 1], 1), tuple(arr[i:i + 2])))
+                i += 2
+        self.bounds[aidx] = (watermark, 1) if aidx == 0 else (watermark + 1, 0)
+
+    def drain(self) -> List[tuple]:
+        out: List[tuple] = []
+        pending = self.pending
+        bounds = self.bounds
+        n = self.n
+        while True:
+            best: Optional[Tuple[int, int]] = None
+            bi = -1
+            for idx in range(n):
+                q = pending[idx]
+                if q:
+                    key = q[0][0]
+                    if best is None or key < best:
+                        best = key
+                        bi = idx
+            if bi < 0:
+                break
+            # every record on the min stream strictly below the other
+            # streams' caps (their head, or their watermark bound when
+            # empty) dispatches in one run — keys never tie across
+            # streams, so the per-record n-way scan collapses to deque
+            # pops for the common long single-stream stretches
+            limit: Optional[Tuple[int, int]] = None
+            for j in range(n):
+                if j == bi:
+                    continue
+                q = pending[j]
+                cap = q[0][0] if q else bounds[j]
+                if limit is None or cap < limit:
+                    limit = cap
+            q = pending[bi]
+            popleft = q.popleft
+            if limit is None:  # single-stream merge: everything flows
+                while q:
+                    out.append(popleft()[1])
+                break
+            drained = False
+            while q and q[0][0] < limit:
+                out.append(popleft()[1])
+                drained = True
+            if not drained:
+                break
+        return out
+
+
+# ----------------------------------------------------------------------
+# process entry point
+# ----------------------------------------------------------------------
+def run_exchange(cfg: dict, q_in, worker_queues, q_result) -> None:
+    """Exchange-owner main: merge, replay, orchestrate, merge stats."""
+    try:
+        obs = child_registry(cfg.get("obs"), "shard-exchange")
+        if obs is not None:
+            use_registry(obs)
+        bundle = _exchange(cfg, q_in, worker_queues, obs)
+        q_result.put(("A", bundle))
+    except OutOfMemoryBudget as exc:
+        q_result.put(
+            ("E", ("OutOfMemoryBudget",
+                   (exc.component, exc.used, exc.budget),
+                   traceback.format_exc()))
+        )
+    except BaseException as exc:  # noqa: BLE001 - crosses a process
+        q_result.put(
+            ("E", (type(exc).__name__, getattr(exc, "args", ()),
+                   traceback.format_exc()))
+        )
+
+
+def _exchange(cfg: dict, q_in, worker_queues, obs: Any = None) -> dict:
+    run_started = time.perf_counter()
+    nparts = cfg["analysis_shards"]
+    channel = ExchangeChannel(list(worker_queues), obs,
+                              analysis_shards=nparts)
+    view = MirrorView()
+    capture = cfg["capture"]
+
+    components_small = 0
+    transactions_small = 0
+
+    def handle_scc(component) -> None:
+        nonlocal components_small, transactions_small
+        logged = [tx for tx in component if tx.log is not None]
+        if len(logged) < 2:
+            components_small += 1
+            transactions_small += len(logged)
+            return
+        channel.send_job(logged)
+
+    icd = ShardedICD(
+        cfg["spec"],
+        channel,
+        logging_enabled=True,
+        monitor_unary=cfg["monitor_unary"],
+        instrument_arrays=cfg["instrument_arrays"],
+        cycle_detection=cfg["cycle_detection"],
+        eager_scc=cfg["eager_scc"],
+        on_scc=handle_scc,
+        runtime_view=view,
+        gc_interval=cfg["gc_interval"],
+        use_engine=cfg["use_engine"],
+    )
+    transitions = None
+    if capture:
+        transitions = CaptureTransitionLog()
+        icd.octet.add_listener(transitions)
+
+    barrier = icd.access_barrier()
+    fused = icd.access_barrier_batch()
+    advance = channel.advance
+
+    threads: List[str] = []
+    methods: List[str] = []
+    desc_rows: List[tuple] = []
+    edesc_rows: List[tuple] = []
+    objs: Dict[int, LiteObj] = {}
+    addr_intern = icd._addr_intern
+    site_intern = icd._site_intern
+
+    def lite(oid: int) -> LiteObj:
+        obj = objs.get(oid)
+        if obj is None:
+            obj = objs[oid] = LiteObj(oid)
+        return obj
+
+    def handle_defs(defs: tuple) -> None:
+        # worker 0 forwards the coordinator's defs verbatim, so this is
+        # the serial def stream: ids are dense and arrive before use
+        for df in defs:
+            tag = df[0]
+            if tag == "d":
+                _, _d, oid, fieldname, kindval, method, index, arraybit = df
+                address = (oid, fieldname)
+                address = addr_intern.setdefault(address, address)
+                site = intern_site(method, index)
+                site_str = site_intern.get(site)
+                if site_str is None:
+                    site_str = site_intern[site] = str(site)
+                desc_rows.append(
+                    (lite(oid), fieldname, AccessKind(kindval), site,
+                     address, site_str, bool(arraybit))
+                )
+            elif tag == "e":
+                (_, _ed, oid, fieldname, kindval, method, index,
+                 syncbit, arraybit) = df
+                edesc_rows.append(
+                    (lite(oid), fieldname, AccessKind(kindval),
+                     intern_site(method, index), bool(syncbit),
+                     bool(arraybit))
+                )
+            elif tag == "t":
+                _, t, name = df
+                assert t == len(threads)
+                threads.append(name)
+                channel.register_thread(t, name)
+            else:  # "m"
+                _, m, name = df
+                assert m == len(methods)
+                methods.append(name)
+
+    merger = ExchangeMerger(nparts)
+    job_results: Dict[int, Tuple[str, object]] = {}
+    worker_bundles: Dict[int, dict] = {}
+    finals: Dict[int, tuple] = {}
+    nworkers = channel.n
+
+    def dispatch(rec: tuple) -> bool:
+        v = rec[0]
+        if v >= 0:
+            seq = rec[1]
+            advance(seq)
+            row = desc_rows[v]
+            if fused is not None:
+                fused(seq, threads[rec[2]], *row)
+            else:
+                obj, fieldname, kind, site, _addr, _s, is_array = row
+                barrier(
+                    AccessEvent(seq, threads[rec[2]], obj, fieldname,
+                                kind, False, is_array, site)
+                )
+        elif v == T_EVENT:
+            seq = rec[2]
+            advance(seq)
+            obj, fieldname, kind, site, is_sync, is_array = edesc_rows[rec[1]]
+            barrier(
+                AccessEvent(seq, threads[rec[3]], obj, fieldname, kind,
+                            is_sync, is_array, site)
+            )
+        elif v == T_ENTER:
+            advance(rec[4])
+            icd.on_method_enter(threads[rec[1]], methods[rec[2]], rec[3])
+        elif v == T_EXIT:
+            advance(rec[4])
+            icd.on_method_exit(threads[rec[1]], methods[rec[2]], rec[3])
+        elif v == T_TSTART:
+            advance(rec[2])
+            icd.on_thread_start(threads[rec[1]])
+        elif v == T_TEND:
+            advance(rec[2])
+            icd.on_thread_end(threads[rec[1]])
+        elif v == T_BLOCK:
+            advance(rec[3])
+            view.blocked[threads[rec[1]]] = bool(rec[2])
+        else:  # T_END
+            return True
+        return False
+
+    ended = False
+    xchunks_in = [0] * nparts
+    while not ended:
+        msg = stalled_get(q_in, obs, "shard.stall.exchange.get.seconds")
+        tag = msg[0]
+        if tag == "X":
+            _, aidx, defs, payload, watermark = msg
+            if obs is not None:
+                obs.emit_flow(
+                    "shard.xchunk", time.perf_counter() - obs.epoch,
+                    aidx * 1_000_000 + xchunks_in[aidx], "f",
+                )
+                xchunks_in[aidx] += 1
+            if defs:
+                handle_defs(defs)
+            merger.push(aidx, payload, watermark)
+            for rec in merger.drain():
+                if dispatch(rec):
+                    ended = True
+        elif tag == "Y":
+            finals[msg[1]] = msg[2:]
+        elif tag == "J":
+            job_results[msg[1]] = (msg[2], msg[3])
+        elif tag == "W":
+            worker_bundles[msg[1]] = msg[2]
+        else:  # "E" from a partition worker
+            name, args, tb = msg[1]
+            raise RuntimeError(
+                f"partition worker failed: {name}{tuple(args)}\n{tb}"
+            )
+
+    # execution end: the final advance releases every absorbed record
+    # still buffered at the log shards, then the owner finishes exactly
+    # like the single analyzer
+    advance(STAMP_INF)
+    icd.on_execution_end()
+    channel.finish()
+
+    while len(worker_bundles) < nworkers or len(finals) < nparts:
+        msg = stalled_get(q_in, obs, "shard.stall.exchange.get.seconds")
+        tag = msg[0]
+        if tag == "J":
+            job_results[msg[1]] = (msg[2], msg[3])
+        elif tag == "W":
+            worker_bundles[msg[1]] = msg[2]
+        elif tag == "Y":
+            finals[msg[1]] = msg[2:]
+        elif tag == "E":
+            name, args, tb = msg[1]
+            raise RuntimeError(
+                f"partition worker failed: {name}{tuple(args)}\n{tb}"
+            )
+
+    # fold the partition workers' absorbed shares back into the exact
+    # serial totals (the `stats` property folds the octet pendings)
+    stats = icd.stats
+    tx_stats = icd.tx_manager.stats
+    octet = icd.octet
+    extra = {
+        "shard.exchange.absorbed": 0,
+        "shard.exchange.forwarded": 0,
+        "shard.exchange.chunks": 0,
+        "shard.exchange.bytes": 0,
+        "shard.edge.chunks": 0,
+        "shard.edge.bytes": 0,
+        "shard.edge.advances": channel.advances,
+        "shard.exchange.sync_facts": 0,
+        "shard.exchange.sync_bytes": 0,
+    }
+    analysis_cpu: List[float] = []
+    analysis_telemetry: List[object] = []
+    for aidx in range(nparts):
+        tallies, desc_meta, cpu_seconds, capsule = finals[aidx]
+        stats.instrumented_accesses += tallies["instrumented"]
+        stats.array_accesses_skipped += tallies["array_skipped"]
+        tx_stats.regular_accesses += tallies["regular"]
+        tx_stats.skipped_accesses += tallies["skipped"]
+        octet._barriers_pending += tallies["instrumented"]
+        octet._fastpath_pending += tallies["instrumented"]
+        octet._fused_pending += tallies["instrumented"]
+        channel.desc_meta.update(desc_meta)
+        extra["shard.exchange.absorbed"] += tallies["absorbed"]
+        extra["shard.exchange.forwarded"] += tallies["forwarded"]
+        extra["shard.exchange.chunks"] += tallies["x_chunks"]
+        extra["shard.exchange.bytes"] += tallies["x_bytes"]
+        extra["shard.edge.chunks"] += tallies["p_chunks"]
+        extra["shard.edge.bytes"] += tallies["p_bytes"]
+        extra["shard.exchange.sync_facts"] += tallies["k_facts"]
+        extra["shard.exchange.sync_bytes"] += tallies["k_bytes"]
+        analysis_cpu.append(cpu_seconds)
+        analysis_telemetry.append(capsule)
+
+    if obs is not None:
+        now = time.perf_counter()
+        obs.observe("shard.exchange.run.seconds", now - run_started)
+        obs.emit_event("shard.exchange.run", "shard",
+                       ts=run_started - obs.epoch, dur=now - run_started,
+                       args={"jobs": channel.jobs_sent,
+                             "advances": channel.advances})
+    return _merge(
+        cfg, icd, channel, transitions, job_results,
+        worker_bundles, components_small, transactions_small, obs,
+        extra_counters=extra,
+        analysis_cpu=analysis_cpu,
+        analysis_telemetry=analysis_telemetry,
+    )
+
+
+__all__ = ["ExchangeChannel", "ExchangeMerger", "run_exchange"]

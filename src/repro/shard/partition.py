@@ -1,0 +1,504 @@
+"""Partition workers of the partitioned analysis plane.
+
+With ``--analysis-shards A > 1`` the single analysis shard of the
+sharded pipeline splits into ``A`` partition workers plus one exchange
+owner (:mod:`repro.shard.exchange`).  Each worker owns a deterministic
+slice of the object space (:func:`~repro.shard.wire.partition_of`) and
+receives, from the coordinator's fan-out recorder, exactly the access
+records touching its objects plus a broadcast copy of every definition
+and lifecycle record.
+
+The worker's job is *absorption*: decide, per access record, whether
+the serial analysis shard would have taken the fused Octet fast path
+inside a monitored regular transaction — in which case the record's
+only global side effects are a handful of counters and one 3-int log
+emission, both of which the worker performs locally — or whether the
+record can have cross-partition effects (an ownership transition, a
+fence, transaction demarcation in a unary context), in which case the
+raw record is forwarded to the exchange owner, who replays it through
+the real ICD.  The decision is made against a
+:class:`~repro.octet.runtime.PartitionOctetView` mirror: a
+partition-local replica of the Octet states whose per-thread read-share
+counters are *stream positions*, sound lower bounds on the serial
+counters, so a positive certain-fast answer implies the serial fast
+path (never vice versa — uncertainty forwards, which is always
+correct, merely slower).
+
+Whether an access is instrumented at all is decided from a replica of
+the transaction manager's regular-frame map, rebuilt from the
+broadcast method-enter/exit/thread-end records; in shardable
+configurations (``monitor_regular is None``) every regular frame is
+monitored, so *frame present* is exactly *current transaction is a
+monitored regular transaction*.
+
+Stream contract (see :mod:`repro.shard.wire` for the merge algebra):
+
+* ``("X", aidx, defs, payload, watermark)`` to the exchange owner —
+  forwarded records in raw coordinator format.  Worker 0 additionally
+  forwards every definition and lifecycle record verbatim, so the
+  owner's def stream is the serial def stream and lifecycle records
+  (keyed by their trailing stamp) interleave correctly.
+* ``("P", aidx, defs, payload, watermark)`` to every log shard —
+  absorbed ``[desc, seq, tid]`` emissions with channel-format defs.
+  Worker descs are minted from the strided lane ``aidx + 1`` step
+  ``A + 1`` so they never collide with the owner's lane.
+
+Both streams flush at the end of every coordinator chunk (watermark =
+the chunk's stamp) and at buffer-threshold overflows (watermark = the
+last processed seq), so all watermarks advance in lockstep and neither
+the owner's merge nor a log shard's ``W_ADVANCE`` drain can stall.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from array import array
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.registry import use_registry
+from repro.obs.wire import (
+    child_registry,
+    sample_depth,
+    stalled_get,
+    telemetry_capsule,
+)
+from repro.octet.runtime import PartitionOctetView, barrier_fastpath_enabled
+from repro.octet.states import StateKind
+from repro.runtime.events import AccessKind
+from repro.shard.wire import (
+    CHUNK_INTS,
+    STAMP_INF,
+    T_BLOCK,
+    T_END,
+    T_ENTER,
+    T_EVENT,
+    T_EXIT,
+    T_TEND,
+    T_TSTART,
+    WORKER_CHUNK_INTS,
+    decode_chunk,
+    encode_chunk,
+    shard_of,
+)
+
+
+class PartitionShard:
+    """One partition worker's state machine (see module docstring)."""
+
+    def __init__(self, aidx: int, analysis_shards: int, spec,
+                 monitor_unary: bool, instrument_arrays: bool,
+                 q_exchange, worker_queues, *, peer_queues=None,
+                 obs=None) -> None:
+        self.aidx = aidx
+        self.analysis_shards = analysis_shards
+        self.spec = spec
+        self.monitor_unary = monitor_unary
+        self.instrument_arrays = instrument_arrays
+        self.q_exchange = q_exchange
+        self.worker_queues = worker_queues
+        self.nworkers = len(worker_queues)
+        self.obs = obs
+        #: absorption requires the fused fast path; with the escape
+        #: hatch off every record forwards and the owner replays the
+        #: exact reference pipeline
+        self.absorbing = barrier_fastpath_enabled()
+
+        self.view = PartitionOctetView()
+        #: tid -> (mid, depth) replica of the tx manager's regular
+        #: frames (monitored is always True in shardable configs)
+        self.frames: Dict[int, Tuple[int, int]] = {}
+        #: mid -> is_atomic (from "m" defs via the spec)
+        self.atomic_mid: List[bool] = []
+        #: coordinator desc -> (oid, kind, is_array, fieldname, site_str)
+        self.desc_rows: List[tuple] = []
+        #: coordinator edesc -> same shape (sync-ness is irrelevant to
+        #: absorption; events flow through the same fused predicate)
+        self.edesc_rows: List[tuple] = []
+        #: coordinator desc/edesc -> (worker desc, owning log shard),
+        #: minted lazily on first absorbed use
+        self.wdesc_by_desc: List[Optional[Tuple[int, int]]] = []
+        self.wdesc_by_edesc: List[Optional[Tuple[int, int]]] = []
+        self._next_wdesc = aidx + 1
+        self._wdesc_stride = analysis_shards + 1
+
+        # outbound buffers
+        self.xbuf = array("q")
+        self.xdefs: list = []  # worker 0 only: coordinator defs, verbatim
+        self.pbufs = [array("q") for _ in range(self.nworkers)]
+        self.pdefs: List[list] = [[] for _ in range(self.nworkers)]
+
+        # peer counter sync: a fence (or upgrade-to-RdSh) on one of
+        # this worker's objects raises the thread's serial rdShCnt for
+        # *every* partition's subsequent RdSh reads, so broadcast the
+        # bump as a ``(tid, ctr, pos)`` fact.  Receivers gate each fact
+        # on their own stream position (a fact is true for all global
+        # positions >= pos; counters are monotone), so late arrival
+        # only costs conservative forwards, never a wrong absorption.
+        self.peers = [
+            q for j, q in enumerate(peer_queues or ()) if j != aidx
+        ] if self.absorbing else []
+        self.kbuf = array("q")
+        self.kpend: List[tuple] = []  # buffered inbound (pos, tid, ctr)
+        self.position = 0  # stamp of the last fully processed chunk
+
+        # serial-stat shares owed back to the owner ("Y" final)
+        self.t_instrumented = 0
+        self.t_regular = 0
+        self.t_skipped = 0
+        self.t_array_skipped = 0
+        #: worker desc -> (kind, oid, fieldname, site_str); merged into
+        #: the owner channel's desc_meta for capture expansion
+        self.desc_meta: Dict[int, tuple] = {}
+        # wire accounting (nondeterministic only in flush granularity)
+        self.absorbed = 0
+        self.forwarded = 0
+        self.x_chunks = 0
+        self.x_bytes = 0
+        self.p_chunks = 0
+        self.p_bytes = 0
+        self.k_facts = 0
+        self.k_bytes = 0
+        self.ended = False
+
+    # ------------------------------------------------------------------
+    # defs
+    # ------------------------------------------------------------------
+    def handle_defs(self, defs: tuple) -> None:
+        desc_rows = self.desc_rows
+        edesc_rows = self.edesc_rows
+        for df in defs:
+            tag = df[0]
+            if tag == "d":
+                _, _d, oid, fieldname, kindval, method, index, arraybit = df
+                desc_rows.append(
+                    (oid, AccessKind(kindval), bool(arraybit), fieldname,
+                     f"{method}@{index}")
+                )
+                self.wdesc_by_desc.append(None)
+            elif tag == "e":
+                (_, _ed, oid, fieldname, kindval, method, index,
+                 _syncbit, arraybit) = df
+                edesc_rows.append(
+                    (oid, AccessKind(kindval), bool(arraybit), fieldname,
+                     f"{method}@{index}")
+                )
+                self.wdesc_by_edesc.append(None)
+            elif tag == "m":
+                _, m, name = df
+                assert m == len(self.atomic_mid)
+                self.atomic_mid.append(self.spec.is_atomic(name))
+            # "t" defs need no worker-side state: records carry tids
+
+    def _register_wdesc(self, row: tuple) -> Tuple[int, int]:
+        oid, kind, _is_array, fieldname, site_str = row
+        d = self._next_wdesc
+        self._next_wdesc = d + self._wdesc_stride
+        widx = shard_of(oid, fieldname, self.nworkers)
+        self.desc_meta[d] = (kind, oid, fieldname, site_str)
+        df = ("d", d, oid, fieldname, kind.value, site_str)
+        for defs in self.pdefs:
+            defs.append(df)
+        return d, widx
+
+    # ------------------------------------------------------------------
+    # flushing
+    # ------------------------------------------------------------------
+    def flush_streams(self, watermark: int) -> None:
+        """Ship both streams; empty payloads still advance watermarks."""
+        payload = encode_chunk(self.xbuf)
+        del self.xbuf[:]
+        defs = tuple(self.xdefs)
+        self.xdefs.clear()
+        self.x_chunks += 1
+        self.x_bytes += len(payload)
+        obs = self.obs
+        if obs is not None:
+            # flow start: binds to the exchange owner's matching finish
+            # for this stream's chunk ordinal (FIFO queue per stream)
+            obs.emit_flow(
+                "shard.xchunk", time.perf_counter() - obs.epoch,
+                self.aidx * 1_000_000 + self.x_chunks - 1, "s",
+            )
+        self.q_exchange.put(("X", self.aidx, defs, payload, watermark))
+        if obs is not None:
+            sample_depth(obs, "shard.queue.p2x.depth", self.q_exchange)
+        for widx in range(self.nworkers):
+            pbuf = self.pbufs[widx]
+            pdefs = tuple(self.pdefs[widx])
+            self.pdefs[widx].clear()
+            payload = encode_chunk(pbuf)
+            del pbuf[:]
+            self.p_chunks += 1
+            self.p_bytes += len(payload)
+            self.worker_queues[widx].put(
+                ("P", self.aidx, pdefs, payload, watermark)
+            )
+        kbuf = self.kbuf
+        if kbuf and not self.ended:
+            payload = encode_chunk(kbuf)
+            del kbuf[:]
+            self.k_facts += len(payload) // 24
+            self.k_bytes += len(payload) * len(self.peers)
+            for q in self.peers:
+                q.put(("K", payload))
+
+    # ------------------------------------------------------------------
+    # peer counter sync
+    # ------------------------------------------------------------------
+    def handle_facts(self, payload: bytes) -> None:
+        """Buffer a peer's ``(tid, ctr, pos)`` counter-sync facts."""
+        arr = decode_chunk(payload)
+        kpend = self.kpend
+        for i in range(0, len(arr), 3):
+            kpend.append((arr[i + 2], arr[i], arr[i + 1]))
+
+    def _apply_facts(self) -> None:
+        """Apply buffered facts proven for every upcoming position."""
+        position = self.position
+        known_ctr = self.view.known_ctr
+        later = []
+        for fact in self.kpend:
+            pos, tid, ctr = fact
+            if pos <= position:
+                if ctr > known_ctr.get(tid, 0):
+                    known_ctr[tid] = ctr
+            else:
+                later.append(fact)
+        self.kpend = later
+
+    # ------------------------------------------------------------------
+    # record stream
+    # ------------------------------------------------------------------
+    def handle_chunk(self, defs: tuple, payload: bytes, stamp: int) -> None:
+        if defs:
+            if self.aidx == 0:
+                self.xdefs.extend(defs)
+            self.handle_defs(defs)
+        if self.kpend:
+            self._apply_facts()
+        arr = decode_chunk(payload)
+        absorbing = self.absorbing
+        forward_life = self.aidx == 0
+        xbuf = self.xbuf
+        pbufs = self.pbufs
+        desc_rows = self.desc_rows
+        edesc_rows = self.edesc_rows
+        wdesc_by_desc = self.wdesc_by_desc
+        wdesc_by_edesc = self.wdesc_by_edesc
+        frames = self.frames
+        atomic_mid = self.atomic_mid
+        monitor_unary = self.monitor_unary
+        instrument_arrays = self.instrument_arrays
+        states = self.view._states
+        known_ctr = self.view.known_ctr
+        apply_tr = self.view.apply
+        peers = self.peers
+        kbuf = self.kbuf
+        _READ = AccessKind.READ
+        _WR_EX = StateKind.WR_EX
+        _RD_EX = StateKind.RD_EX
+        _RD_SH = StateKind.RD_SH
+        i = 0
+        n = len(arr)
+        while i < n:
+            v = arr[i]
+            if v >= 0 or v == T_EVENT:
+                if v >= 0:
+                    row = desc_rows[v]
+                    cache = wdesc_by_desc
+                    seq = arr[i + 1]
+                    tid = arr[i + 2]
+                    i += 3
+                else:
+                    v = arr[i + 1]
+                    row = edesc_rows[v]
+                    cache = wdesc_by_edesc
+                    seq = arr[i + 2]
+                    tid = arr[i + 3]
+                    i += 4
+                if absorbing:
+                    if row[2] and not instrument_arrays:
+                        self.t_array_skipped += 1
+                        self.absorbed += 1
+                        continue
+                    in_frame = tid in frames
+                    if not in_frame and not monitor_unary:
+                        # the serial pipeline drops the access before
+                        # the Octet barrier: no transition to mirror
+                        self.t_skipped += 1
+                        self.absorbed += 1
+                        continue
+                    oid = row[0]
+                    kind = row[1]
+                    if in_frame:
+                        state = states.get(oid)
+                        if state is not None:
+                            skind = state.kind
+                            if (
+                                state.owner == tid
+                                and (
+                                    skind is _WR_EX
+                                    or (skind is _RD_EX and kind is _READ)
+                                )
+                            ) or (
+                                skind is _RD_SH
+                                and kind is _READ
+                                and known_ctr.get(tid, 0) >= state.counter
+                            ):
+                                # certain fast path inside a monitored
+                                # regular transaction: counters plus one
+                                # log emission, all local
+                                self.t_instrumented += 1
+                                self.t_regular += 1
+                                self.absorbed += 1
+                                entry = cache[v]
+                                if entry is None:
+                                    entry = cache[v] = \
+                                        self._register_wdesc(row)
+                                d, widx = entry
+                                pbuf = pbufs[widx]
+                                pbuf.append(d)
+                                pbuf.append(seq)
+                                pbuf.append(tid)
+                                if len(pbuf) >= WORKER_CHUNK_INTS:
+                                    self.flush_streams(seq)
+                                continue
+                    # may transition, fence, or demarcate: forward and
+                    # keep the mirror exact (forwarded records are
+                    # always instrumented here, so the serial side
+                    # always reaches the Octet barrier)
+                    ctr = apply_tr(oid, kind, tid, seq)
+                    if ctr is not None and peers:
+                        kbuf.append(tid)
+                        kbuf.append(ctr)
+                        kbuf.append(seq)
+                self.forwarded += 1
+                if cache is wdesc_by_desc:
+                    xbuf.append(v)
+                else:
+                    xbuf.append(T_EVENT)
+                    xbuf.append(v)
+                xbuf.append(seq)
+                xbuf.append(tid)
+                if len(xbuf) >= CHUNK_INTS:
+                    self.flush_streams(seq)
+            elif v == T_ENTER:
+                t = arr[i + 1]
+                m = arr[i + 2]
+                if t not in frames and atomic_mid[m]:
+                    frames[t] = (m, arr[i + 3])
+                if forward_life:
+                    xbuf.append(v)
+                    xbuf.append(t)
+                    xbuf.append(m)
+                    xbuf.append(arr[i + 3])
+                    xbuf.append(arr[i + 4])
+                i += 5
+            elif v == T_EXIT:
+                t = arr[i + 1]
+                if frames.get(t) == (arr[i + 2], arr[i + 3]):
+                    del frames[t]
+                if forward_life:
+                    xbuf.append(v)
+                    xbuf.append(t)
+                    xbuf.append(arr[i + 2])
+                    xbuf.append(arr[i + 3])
+                    xbuf.append(arr[i + 4])
+                i += 5
+            elif v == T_TSTART:
+                if forward_life:
+                    xbuf.append(v)
+                    xbuf.append(arr[i + 1])
+                    xbuf.append(arr[i + 2])
+                i += 3
+            elif v == T_TEND:
+                frames.pop(arr[i + 1], None)
+                if forward_life:
+                    xbuf.append(v)
+                    xbuf.append(arr[i + 1])
+                    xbuf.append(arr[i + 2])
+                i += 3
+            elif v == T_BLOCK:
+                if forward_life:
+                    xbuf.append(v)
+                    xbuf.append(arr[i + 1])
+                    xbuf.append(arr[i + 2])
+                    xbuf.append(arr[i + 3])
+                i += 4
+            else:  # T_END
+                self.ended = True
+                if forward_life:
+                    xbuf.append(v)
+                    xbuf.append(arr[i + 1])
+                i += 2
+        self.position = stamp
+        self.flush_streams(STAMP_INF if self.ended else stamp)
+
+    # ------------------------------------------------------------------
+    def final(self) -> tuple:
+        tallies = {
+            "instrumented": self.t_instrumented,
+            "regular": self.t_regular,
+            "skipped": self.t_skipped,
+            "array_skipped": self.t_array_skipped,
+            "absorbed": self.absorbed,
+            "forwarded": self.forwarded,
+            "x_chunks": self.x_chunks,
+            "x_bytes": self.x_bytes,
+            "p_chunks": self.p_chunks,
+            "p_bytes": self.p_bytes,
+            "k_facts": self.k_facts,
+            "k_bytes": self.k_bytes,
+        }
+        return ("Y", self.aidx, tallies, self.desc_meta,
+                time.process_time(), telemetry_capsule(self.obs))
+
+
+def run_partition(cfg: dict, aidx: int, q_in, q_exchange,
+                  worker_queues, peer_queues=None) -> None:
+    """Partition-worker main loop."""
+    try:
+        obs = child_registry(cfg.get("obs"), f"shard-analysis-{aidx}")
+        if obs is not None:
+            use_registry(obs)
+            run_started = time.perf_counter()
+        shard = PartitionShard(
+            aidx, cfg["analysis_shards"], cfg["spec"],
+            cfg["monitor_unary"], cfg["instrument_arrays"],
+            q_exchange, worker_queues, peer_queues=peer_queues, obs=obs,
+        )
+        chunks_in = 0
+        while not shard.ended:
+            msg = stalled_get(q_in, obs, "shard.stall.analysis.get.seconds")
+            if msg[0] == "K":
+                shard.handle_facts(msg[1])
+                continue
+            _, defs, payload, stamp = msg
+            if obs is not None:
+                chunk_started = time.perf_counter()
+                obs.emit_flow("shard.chunk", chunk_started - obs.epoch,
+                              aidx * 1_000_000 + chunks_in, "f")
+            shard.handle_chunk(defs, payload, stamp)
+            if obs is not None:
+                now = time.perf_counter()
+                obs.observe("shard.partition.chunk.seconds",
+                            now - chunk_started)
+                chunks_in += 1
+        if obs is not None:
+            now = time.perf_counter()
+            obs.observe("shard.partition.run.seconds", now - run_started)
+            obs.emit_event("shard.partition.run", "shard",
+                           ts=run_started - obs.epoch, dur=now - run_started,
+                           args={"chunks": chunks_in,
+                                 "absorbed": shard.absorbed,
+                                 "forwarded": shard.forwarded})
+        q_exchange.put(shard.final())
+    except BaseException as exc:  # noqa: BLE001 - crosses a process
+        q_exchange.put(
+            ("E", (type(exc).__name__, getattr(exc, "args", ()),
+                   traceback.format_exc()))
+        )
+
+
+__all__ = ["PartitionShard", "run_partition"]

@@ -1,0 +1,210 @@
+"""Unit tests for the partitioned analysis plane's merge machinery.
+
+The end-to-end byte-identity of ``--analysis-shards`` runs lives in
+``tests/integration/test_sharded_determinism.py``; these tests pin the
+three mechanisms that identity rests on, in isolation:
+
+* :class:`ExchangeMerger` — global seq order out of per-stream
+  watermarked chunks, including the asymmetric bounds (stream 0 can
+  still produce lifecycle records *at* its watermark; other streams
+  can still produce accesses at ``watermark + 1``);
+* :class:`ExchangeChannel.advance` — drain barriers coalesce in place
+  when nothing was emitted between them, and never coalesce across an
+  emission or a flush;
+* the ``ingest_edges`` seams on :class:`ICD` and
+  :class:`IncrementalSccDigraph` — an externally merged edge stream
+  takes the exact serial edge path (marks, eager detection, outcome
+  tally).
+"""
+
+from array import array
+
+from repro.shard.exchange import ExchangeChannel, ExchangeMerger
+from repro.shard.wire import (
+    T_END,
+    T_ENTER,
+    T_EVENT,
+    T_TSTART,
+    W_ADVANCE,
+    W_TXSTART,
+)
+
+
+def _payload(*ints):
+    return array("q", ints).tobytes()
+
+
+def _accesses(merger, aidx, triples, watermark):
+    """Push ``(desc, seq, tid)`` access records as one chunk."""
+    flat = []
+    for desc, seq, tid in triples:
+        flat += [desc, seq, tid]
+    merger.push(aidx, _payload(*flat), watermark)
+
+
+class _Sink:
+    def __init__(self):
+        self.msgs = []
+
+    def put(self, msg):
+        self.msgs.append(msg)
+
+
+# ----------------------------------------------------------------------
+# ExchangeMerger
+# ----------------------------------------------------------------------
+def test_merger_interleaves_streams_in_global_seq_order():
+    m = ExchangeMerger(2)
+    _accesses(m, 0, [(10, 1, 0), (11, 4, 0)], watermark=5)
+    _accesses(m, 1, [(20, 2, 1), (21, 3, 1)], watermark=5)
+    assert [r[1] for r in m.drain()] == [1, 2, 3, 4]
+
+
+def test_merger_blocks_on_lagging_stream_until_watermark():
+    m = ExchangeMerger(2)
+    _accesses(m, 0, [(10, 1, 0), (11, 7, 0)], watermark=7)
+    # stream 1 is empty with bound (0 + 1, 0) <= (1, 0): seq 1 must wait
+    assert m.drain() == []
+    # an empty flush raising stream 1's watermark past 7 releases both
+    m.push(1, _payload(), watermark=7)
+    assert [r[1] for r in m.drain()] == [1, 7]
+
+
+def test_merger_stream0_watermark_admits_equal_seq_from_others():
+    m = ExchangeMerger(2)
+    # stream 0 flushed through seq 5 -> bound (5, 1); stream 1 may
+    # dispatch an access AT seq 5 (key (5, 0) < (5, 1)) but nothing
+    # later, because stream 0 could still send a lifecycle stamped 5
+    _accesses(m, 1, [(20, 5, 1), (21, 6, 1)], watermark=9)
+    m.push(0, _payload(), watermark=5)
+    assert [r[1] for r in m.drain()] == [5]
+    m.push(0, _payload(), watermark=6)
+    assert [r[1] for r in m.drain()] == [6]
+
+
+def test_merger_other_stream_watermark_excludes_equal_seq():
+    m = ExchangeMerger(2)
+    # stream 1 flushed at watermark 5 -> bound (6, 0): it can still
+    # produce an access with seq 6, so stream 0's seq-6 record waits
+    _accesses(m, 0, [(10, 6, 0)], watermark=6)
+    m.push(1, _payload(), watermark=5)
+    assert m.drain() == []
+    m.push(1, _payload(), watermark=6)
+    assert [r[1] for r in m.drain()] == [6]
+
+
+def test_merger_lifecycle_sorts_after_same_seq_access():
+    m = ExchangeMerger(2)
+    # lifecycle records ride stream 0 keyed (stamp, 1): a method enter
+    # stamped 3 lands after the seq-3 access and before seq 4
+    m.push(
+        0,
+        _payload(T_ENTER, 0, 2, 1, 3, 10, 4, 0),
+        watermark=4,
+    )
+    _accesses(m, 1, [(20, 3, 1)], watermark=9)
+    recs = m.drain()
+    assert [r[0] for r in recs] == [20, T_ENTER, 10]
+    assert recs[1] == (T_ENTER, 0, 2, 1, 3)
+
+
+def test_merger_decodes_every_lifecycle_shape():
+    m = ExchangeMerger(1)
+    m.push(
+        0,
+        _payload(
+            T_TSTART, 0, 1,
+            T_EVENT, 5, 2, 0,
+            T_END, 9,
+        ),
+        watermark=9,
+    )
+    assert m.drain() == [
+        (T_TSTART, 0, 1),
+        (T_EVENT, 5, 2, 0),
+        (T_END, 9),
+    ]
+
+
+# ----------------------------------------------------------------------
+# ExchangeChannel.advance
+# ----------------------------------------------------------------------
+def test_advance_coalesces_consecutive_barriers_in_place():
+    ch = ExchangeChannel([_Sink(), _Sink()], analysis_shards=2)
+    ch.advance(3)
+    ch.advance(7)
+    for buf in ch.bufs:
+        assert list(buf) == [W_ADVANCE, 7]
+    assert ch.advances == 2  # one materialized barrier per shard
+
+
+def test_advance_does_not_coalesce_across_an_emission():
+    ch = ExchangeChannel([_Sink()], analysis_shards=2)
+    ch.advance(3)
+    ch.tx_start(0, 1)
+    ch.advance(7)
+    assert list(ch.bufs[0]) == [W_ADVANCE, 3, W_TXSTART, 0, 1, W_ADVANCE, 7]
+
+
+def test_advance_does_not_coalesce_across_a_flush():
+    sink = _Sink()
+    ch = ExchangeChannel([sink], analysis_shards=2)
+    ch.advance(3)
+    ch.flush(0)
+    ch.advance(7)
+    assert [m[0] for m in sink.msgs] == ["C"]
+    arr = array("q")
+    arr.frombytes(sink.msgs[0][2])
+    assert list(arr) == [W_ADVANCE, 3]
+    assert list(ch.bufs[0]) == [W_ADVANCE, 7]
+
+
+def test_exchange_channel_descs_use_the_owner_lane():
+    ch = ExchangeChannel([_Sink()], analysis_shards=3)
+    site = ("m", 0)
+    d0, _ = ch.register_desc(site, (1, "f"), _kind("READ"), "m@0")
+    d1, _ = ch.register_desc(site, (1, "g"), _kind("WRITE"), "m@0")
+    assert (d0, d1) == (0, 4)  # base 0, stride analysis_shards + 1
+
+
+def _kind(name):
+    from repro.runtime.events import AccessKind
+
+    return getattr(AccessKind, name)
+
+
+# ----------------------------------------------------------------------
+# ingest_edges seams
+# ----------------------------------------------------------------------
+def test_engine_ingest_edges_applies_in_order_and_tallies():
+    from repro.graph.engine import IncrementalSccDigraph
+
+    g = IncrementalSccDigraph()
+    tally = g.ingest_edges([(1, 2), (2, 3), (3, 1), (1, 2)])
+    assert sum(tally.values()) == 4
+    assert g.same_component(1, 2) and g.same_component(2, 3)
+    assert g.cyclic_members(1) == {1, 2, 3}
+
+
+def test_icd_ingest_edges_takes_the_serial_edge_path():
+    from repro.core.icd import ICD
+    from repro.spec.specification import AtomicitySpecification
+    from repro.runtime.program import Program
+
+    seen = []
+    icd = ICD(
+        AtomicitySpecification(frozenset({"a", "b"}), frozenset()),
+        on_scc=lambda comp: seen.append(sorted(t.tx_id for t in comp)),
+    )
+    icd.on_thread_start("T0")
+    icd.on_thread_start("T1")
+    icd.on_method_enter("T0", "a", 0)
+    icd.on_method_enter("T1", "b", 0)
+    txa, txb = icd.tx_manager.all_transactions[:2]
+    created = icd.ingest_edges([(txa, txb, "wr"), (txb, txa, "rd")])
+    assert [e is not None for e in created] == [True, True]
+    assert created[0].kind == "wr" and created[0].src is txa
+    tapped = []
+    icd.edge_tap = lambda e: tapped.append(e)
+    icd.ingest_edges([(txa, txb, "ww")])
+    assert len(tapped) == 1 and tapped[0].kind == "ww"
